@@ -1,0 +1,327 @@
+// Benchmarks regenerating the paper's quantitative content. One bench
+// per table/figure artifact:
+//
+//	BenchmarkTable1RandomizedAwake / Rounds    — Table 1 row 1
+//	BenchmarkTable1DeterministicAwake / Rounds — Table 1 row 2
+//	BenchmarkCorollary1LogStar                 — §2.3 Remark
+//	BenchmarkBaselineGHS                       — traditional comparator
+//	BenchmarkTheorem3Ring                      — §3.1 lower bound
+//	BenchmarkFigure1GrcDiameter                — Figure 1 / Observation 1
+//	BenchmarkTheorem4Tradeoff                  — §3.2 awake × rounds
+//	BenchmarkTheorem4Reduction                 — Lemmas 8-10 end to end
+//	BenchmarkFigures2to5Merge                  — Appendix C walkthrough
+//
+// Custom metrics (b.ReportMetric) carry the paper-facing quantities:
+// awake complexity, awake/log2(n), rounds, and their envelopes, so
+// `go test -bench . -benchmem` prints the reproduction table directly.
+package sleepmst
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sleepmst/internal/core"
+	"sleepmst/internal/graph"
+	"sleepmst/internal/ldt"
+	"sleepmst/internal/lowerbound"
+	"sleepmst/internal/sim"
+	"sleepmst/internal/stats"
+)
+
+// benchSizes are the sweep sizes; kept moderate so the full suite runs
+// in minutes on a laptop.
+var benchSizes = []int{64, 128, 256}
+
+func benchMST(b *testing.B, a Algorithm, n int, reportRounds bool) {
+	b.Helper()
+	g := RandomConnected(n, 3*n, int64(n))
+	var awake, rounds float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(a, g, Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		awake += float64(rep.AwakeComplexity())
+		rounds += float64(rep.RoundComplexity())
+	}
+	awake /= float64(b.N)
+	rounds /= float64(b.N)
+	logn := math.Log2(float64(n))
+	b.ReportMetric(awake, "awake")
+	b.ReportMetric(awake/logn, "awake/log2n")
+	if reportRounds {
+		b.ReportMetric(rounds, "rounds")
+		b.ReportMetric(rounds/(float64(n)*logn), "rounds/nlog2n")
+	}
+}
+
+func BenchmarkTable1RandomizedAwake(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchMST(b, Randomized, n, false)
+		})
+	}
+}
+
+func BenchmarkTable1RandomizedRounds(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchMST(b, Randomized, n, true)
+		})
+	}
+}
+
+func BenchmarkTable1DeterministicAwake(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchMST(b, Deterministic, n, false)
+		})
+	}
+}
+
+func BenchmarkTable1DeterministicRounds(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := RandomConnected(n, 3*n, int64(n))
+			var rounds float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(Deterministic, g, Options{Seed: int64(i)})
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+				rounds += float64(rep.RoundComplexity())
+			}
+			rounds /= float64(b.N)
+			logn := math.Log2(float64(n))
+			// The deterministic run time is O(n·N·log n); with IDs
+			// 1..n the envelope is n²·log n.
+			b.ReportMetric(rounds, "rounds")
+			b.ReportMetric(rounds/(float64(n)*float64(n)*logn), "rounds/nNlog2n")
+		})
+	}
+}
+
+func BenchmarkCorollary1LogStar(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := RandomConnected(n, 3*n, int64(n))
+			var awake, rounds float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(LogStar, g, Options{Seed: int64(i)})
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+				awake += float64(rep.AwakeComplexity())
+				rounds += float64(rep.RoundComplexity())
+			}
+			awake /= float64(b.N)
+			rounds /= float64(b.N)
+			env := math.Log2(float64(n)) * stats.LogStar(float64(n))
+			b.ReportMetric(awake, "awake")
+			b.ReportMetric(awake/env, "awake/log2n.logstar")
+			b.ReportMetric(rounds/(float64(n)*env), "rounds/env")
+		})
+	}
+}
+
+func BenchmarkBaselineGHS(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := RandomConnected(n, 3*n, int64(n))
+			var base, sleeping float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rb, err := Run(Baseline, g, Options{Seed: int64(i)})
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+				rs, err := Run(Randomized, g, Options{Seed: int64(i)})
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+				base += float64(rb.AwakeComplexity())
+				sleeping += float64(rs.AwakeComplexity())
+			}
+			b.ReportMetric(base/float64(b.N), "baseline-awake")
+			b.ReportMetric(base/sleeping, "awake-gap")
+		})
+	}
+}
+
+func BenchmarkTheorem3Ring(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var frac, awake float64
+			for i := 0; i < b.N; i++ {
+				res := lowerbound.HeaviestEdgeSeparation(4*n+4, 500, int64(i))
+				frac += res.FracSeparated
+				g := lowerbound.RingInstance(n, int64(i))
+				rep, err := Run(Randomized, g, Options{Seed: int64(i)})
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+				awake += float64(rep.AwakeComplexity())
+			}
+			b.ReportMetric(frac/float64(b.N), "Pr[separated]")
+			b.ReportMetric(awake/float64(b.N)/math.Log2(float64(n)), "awake/log2n")
+		})
+	}
+}
+
+func BenchmarkFigure1GrcDiameter(b *testing.B) {
+	for _, c := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			var d float64
+			for i := 0; i < b.N; i++ {
+				grc, err := NewGRC(4, c, int64(i))
+				if err != nil {
+					b.Fatalf("grc: %v", err)
+				}
+				d += float64(Diameter(grc.G))
+			}
+			d /= float64(b.N)
+			n := float64(4*c) + math.Log2(float64(4*c))
+			b.ReportMetric(d, "diameter")
+			b.ReportMetric(d/(float64(c)/math.Log2(n)), "D/(c/log2n)")
+		})
+	}
+}
+
+func BenchmarkTheorem4Tradeoff(b *testing.B) {
+	for _, c := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			var product, congestion float64
+			var n int
+			for i := 0; i < b.N; i++ {
+				pt, err := lowerbound.TradeoffExperiment(4, c, core.RunRandomized, int64(i))
+				if err != nil {
+					b.Fatalf("tradeoff: %v", err)
+				}
+				product += float64(pt.Product)
+				congestion += float64(pt.TreeCongestion)
+				n = pt.N
+			}
+			b.ReportMetric(product/float64(b.N), "awakeXrounds")
+			b.ReportMetric(product/float64(b.N)/float64(n), "product/n")
+			b.ReportMetric(congestion/float64(b.N), "tree-congestion-bits")
+		})
+	}
+}
+
+func BenchmarkTheorem4Reduction(b *testing.B) {
+	grc, err := NewGRC(4, 16, 1)
+	if err != nil {
+		b.Fatalf("grc: %v", err)
+	}
+	ok := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := lowerbound.RandomBits(grc.R-1, int64(i*2+1))
+		y := lowerbound.RandomBits(grc.R-1, int64(i*2+2))
+		ins, err := NewDSDInstance(grc, x, y)
+		if err != nil {
+			b.Fatalf("encode: %v", err)
+		}
+		got, _, err := SolveSDViaMST(ins, Randomized, Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatalf("solve: %v", err)
+		}
+		if got == ins.Disjoint() {
+			ok++
+		}
+	}
+	b.ReportMetric(float64(ok)/float64(b.N), "decode-accuracy")
+}
+
+// BenchmarkFigures2to5Merge regenerates the Appendix C walkthrough:
+// the canonical two-fragment merge, asserting the figures' final
+// labels every iteration.
+func BenchmarkFigures2to5Merge(b *testing.B) {
+	g := graph.MustNew(5, []graph.Edge{
+		{U: 0, V: 1, Weight: 10},
+		{U: 1, V: 4, Weight: 1},
+		{U: 2, V: 3, Weight: 20},
+		{U: 3, V: 4, Weight: 30},
+	})
+	moePort := -1
+	for p, pt := range g.Ports(4) {
+		if pt.To == 1 {
+			moePort = p
+		}
+	}
+	wantLevels := []int{0, 1, 4, 3, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		states, err := ldt.StatesFromParents(g, []int{-1, 0, -1, 2, 3})
+		if err != nil {
+			b.Fatalf("states: %v", err)
+		}
+		_, err = sim.Run(sim.Config{Graph: g, Seed: int64(i)}, func(nd *sim.Node) error {
+			st := states[nd.Index()]
+			dec := ldt.NoMerge
+			if st.FragID == g.ID(2) {
+				dec = ldt.MergeDecision{Merging: true, AttachPort: -1}
+				if nd.Index() == 4 {
+					dec.AttachPort = moePort
+				}
+			}
+			ldt.MergingFragments(nd, st, 1, dec)
+			return nil
+		})
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		for v, want := range wantLevels {
+			if states[v].Level != want {
+				b.Fatalf("node %d level %d, want %d", v, states[v].Level, want)
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator performance:
+// awake-node-rounds per second on a dense exchange workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	g := RandomConnected(256, 768, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{Graph: g, Seed: int64(i)}, func(nd *sim.Node) error {
+			for r := 0; r < 50; r++ {
+				nd.Exchange(nil)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+	}
+	b.ReportMetric(float64(256*50), "node-rounds/op")
+}
+
+// BenchmarkClassicGHS measures the independent traditional-model GHS:
+// fewer rounds than the block-scheduled algorithms (chain merges) but
+// awake complexity equal to rounds.
+func BenchmarkClassicGHS(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := RandomConnected(n, 3*n, int64(n))
+			var awake, rounds float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(ClassicGHS, g, Options{Seed: int64(i)})
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+				awake += float64(rep.AwakeComplexity())
+				rounds += float64(rep.RoundComplexity())
+			}
+			logn := math.Log2(float64(n))
+			b.ReportMetric(awake/float64(b.N), "awake")
+			b.ReportMetric(rounds/float64(b.N)/(float64(n)*logn), "rounds/nlog2n")
+		})
+	}
+}

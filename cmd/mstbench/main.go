@@ -1,0 +1,306 @@
+// Command mstbench regenerates the paper's quantitative content:
+//
+//	-exp table1  — Table 1: awake/round complexity of Randomized-MST
+//	               and Deterministic-MST (plus the Corollary 1 variant
+//	               and the always-awake baseline), with fitted
+//	               constants against the claimed envelopes.
+//	-exp thm3    — Theorem 3: heaviest-edge separation and the
+//	               Lemma 11 knowledge-segment game on rings.
+//	-exp fig1    — Figure 1 / Observation 1: G_rc construction and its
+//	               Θ(c / log n) diameter.
+//	-exp thm4    — Theorem 4: awake × rounds trade-off and congestion
+//	               on G_rc, plus the end-to-end SD→MST reduction.
+//	-exp decay   — Lemma 1 / Lemma 5: per-phase fragment decay.
+//	-exp all     — everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"sleepmst"
+	"sleepmst/internal/core"
+	"sleepmst/internal/lowerbound"
+	"sleepmst/internal/stats"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1|thm3|fig1|thm4|decay|all")
+		sizes = flag.String("sizes", "32,64,128,256,512", "comma-separated n values for sweeps")
+		seeds = flag.Int("seeds", 3, "seeds per configuration")
+		degF  = flag.Int("deg", 3, "edge density multiplier (m = deg*n)")
+	)
+	flag.Parse()
+
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstbench:", err)
+		os.Exit(1)
+	}
+	h := &harness{ns: ns, seeds: *seeds, deg: *degF}
+
+	run := map[string]func(){
+		"table1": h.table1,
+		"thm3":   h.theorem3,
+		"fig1":   h.figure1,
+		"thm4":   h.theorem4,
+		"decay":  h.decay,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "decay", "thm3", "fig1", "thm4"} {
+			run[name]()
+		}
+		return
+	}
+	f, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mstbench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+	f()
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 4 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+type harness struct {
+	ns    []int
+	seeds int
+	deg   int
+}
+
+// sweep runs the algorithm over the size sweep and returns per-size
+// mean awake and rounds.
+func (h *harness) sweep(a sleepmst.Algorithm, maxN int) (ns []int, awake, rounds []float64) {
+	for _, n := range h.ns {
+		if maxN > 0 && n > maxN {
+			continue
+		}
+		var aw, rd float64
+		for s := 0; s < h.seeds; s++ {
+			g := sleepmst.RandomConnected(n, h.deg*n, int64(n*1000+s))
+			rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: int64(s)})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mstbench: %s n=%d seed=%d: %v\n", a, n, s, err)
+				os.Exit(1)
+			}
+			if !rep.Verified() {
+				fmt.Fprintf(os.Stderr, "mstbench: %s n=%d seed=%d: MST mismatch\n", a, n, s)
+				os.Exit(1)
+			}
+			aw += float64(rep.AwakeComplexity())
+			rd += float64(rep.RoundComplexity())
+		}
+		ns = append(ns, n)
+		awake = append(awake, aw/float64(h.seeds))
+		rounds = append(rounds, rd/float64(h.seeds))
+	}
+	return ns, awake, rounds
+}
+
+func (h *harness) table1() {
+	fmt.Println("=== Table 1: awake and round complexity (measured, mean over seeds) ===")
+	fmt.Println("paper: Randomized-MST  AT = O(log n),        RT = O(n log n)")
+	fmt.Println("paper: Deterministic   AT = O(log n),        RT = O(nN log n), here N = n")
+	fmt.Println("paper: Corollary 1     AT = O(log n log* n), RT = O(n log n log* n)")
+	fmt.Println("paper: traditional     AT = RT (always awake); both the re-charged")
+	fmt.Println("       baseline and an independent classic GHS implementation")
+	fmt.Println()
+
+	type row struct {
+		algo    sleepmst.Algorithm
+		maxN    int
+		atEnv   func(n float64) float64 // awake envelope
+		rtEnv   func(n float64) float64 // rounds envelope
+		atLabel string
+		rtLabel string
+	}
+	logn := func(n float64) float64 { return math.Log2(n) }
+	rows := []row{
+		{sleepmst.Randomized, 0, logn, func(n float64) float64 { return n * logn(n) },
+			"awake/log2(n)", "rounds/(n log2 n)"},
+		{sleepmst.Deterministic, 512, logn, func(n float64) float64 { return n * n * logn(n) },
+			"awake/log2(n)", "rounds/(n*N log2 n)"},
+		{sleepmst.LogStar, 512, func(n float64) float64 { return logn(n) * stats.LogStar(n) },
+			func(n float64) float64 { return n * logn(n) * stats.LogStar(n) },
+			"awake/(log2 n log* n)", "rounds/(n log2 n log* n)"},
+		{sleepmst.Baseline, 512, func(n float64) float64 { return n * logn(n) },
+			func(n float64) float64 { return n * logn(n) },
+			"awake/(n log2 n)", "rounds/(n log2 n)"},
+		{sleepmst.ClassicGHS, 256, func(n float64) float64 { return n * logn(n) },
+			func(n float64) float64 { return n * logn(n) },
+			"awake/(n log2 n)", "rounds/(n log2 n)"},
+	}
+	for _, r := range rows {
+		ns, awake, rounds := h.sweep(r.algo, r.maxN)
+		tb := stats.NewTable("n", "awake", r.atLabel, "rounds", r.rtLabel)
+		var envA, envR []float64
+		for i, n := range ns {
+			ea, er := r.atEnv(float64(n)), r.rtEnv(float64(n))
+			envA = append(envA, ea)
+			envR = append(envR, er)
+			tb.AddRow(n, awake[i], awake[i]/ea, rounds[i], rounds[i]/er)
+		}
+		cA, r2A := stats.FitProportional(envA, awake)
+		cR, r2R := stats.FitProportional(envR, rounds)
+		fmt.Printf("--- %s ---\n%s", r.algo, tb.String())
+		fmt.Printf("fit: awake ≈ %.2f × envelope (R²=%.3f); rounds ≈ %.3g × envelope (R²=%.3f)\n\n",
+			cA, r2A, cR, r2R)
+	}
+}
+
+func (h *harness) decay() {
+	fmt.Println("=== Lemma 1 / Lemma 5: fragment decay per phase ===")
+	fmt.Println("paper: expected reduction factor >= 4/3 per phase (randomized);")
+	fmt.Println("       strict decrease per phase (deterministic)")
+	fmt.Println()
+	n := h.ns[len(h.ns)-1]
+	for _, a := range []sleepmst.Algorithm{sleepmst.Randomized, sleepmst.Deterministic} {
+		if a == sleepmst.Deterministic && n > 512 {
+			n = 512
+		}
+		g := sleepmst.RandomConnected(n, h.deg*n, 424242)
+		rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: 7, RecordPhases: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			os.Exit(1)
+		}
+		counts := rep.FragmentsPerPhase
+		tb := stats.NewTable("phase", "fragments", "reduction factor")
+		prev := float64(g.N())
+		for p, c := range counts {
+			factor := prev / float64(c)
+			tb.AddRow(p+1, c, factor)
+			prev = float64(c)
+		}
+		fmt.Printf("--- %s (n=%d) ---\n%s\n", a, g.N(), tb.String())
+	}
+}
+
+func (h *harness) theorem3() {
+	fmt.Println("=== Theorem 3: Ω(log n) awake lower bound on rings ===")
+	fmt.Println("(a) structural: the two heaviest edges of a random ring are ≥ len/4")
+	fmt.Println("    apart with probability ≈ 1/2 (the proof needs constant probability)")
+	tb := stats.NewTable("ring length", "trials", "Pr[sep >= len/4]", "mean separation")
+	for _, n := range h.ns {
+		res := lowerbound.HeaviestEdgeSeparation(4*n+4, 2000, int64(n))
+		tb.AddRow(res.N, res.Trials, res.FracSeparated, res.MeanSeparation)
+	}
+	fmt.Print(tb.String())
+
+	fmt.Println()
+	fmt.Println("(b) Lemma 11 knowledge-segment game: Pr[U(I,a)] >= 1/2 for |I| = 13^a")
+	rows := lowerbound.KnowledgeSegmentGame(13*13*2, 2, 400, 99)
+	tb2 := stats.NewTable("a", "|I| = 13^a", "Pr[U(I,a)]", "trials")
+	for _, r := range rows {
+		tb2.AddRow(r.A, r.SegmentLen, r.ProbU, r.Trials)
+	}
+	fmt.Print(tb2.String())
+
+	fmt.Println()
+	fmt.Println("(c) our algorithm on rings: awake complexity grows like Θ(log n)")
+	tb3 := stats.NewTable("n", "awake (max)", "awake/log2(n)")
+	for _, n := range h.ns {
+		g := lowerbound.RingInstance(n, int64(n))
+		rep, err := sleepmst.Run(sleepmst.Randomized, g, sleepmst.Options{Seed: 5})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			os.Exit(1)
+		}
+		tb3.AddRow(n, rep.AwakeComplexity(), float64(rep.AwakeComplexity())/math.Log2(float64(n)))
+	}
+	fmt.Print(tb3.String())
+	fmt.Println()
+}
+
+func (h *harness) figure1() {
+	fmt.Println("=== Figure 1 / Observation 1: the lower-bound graph G_rc ===")
+	fmt.Println("paper: diameter D = Θ(c / log n)")
+	tb := stats.NewTable("r", "c", "n", "|X|", "diameter", "c/log2(n)", "D/(c/log2 n)")
+	for _, c := range []int{32, 64, 128, 256} {
+		r := 4
+		grc, err := sleepmst.NewGRC(r, c, int64(c))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			os.Exit(1)
+		}
+		d := diameter(grc)
+		n := float64(grc.G.N())
+		env := float64(c) / math.Log2(n)
+		tb.AddRow(r, c, grc.G.N(), len(grc.X), d, env, float64(d)/env)
+	}
+	fmt.Print(tb.String())
+	fmt.Println()
+}
+
+func diameter(grc *sleepmst.GRC) int {
+	return sleepmst.Diameter(grc.G)
+}
+
+func (h *harness) theorem4() {
+	fmt.Println("=== Theorem 4: awake × rounds >= Ω̃(n) on G_rc ===")
+	tb := stats.NewTable("r", "c", "n", "awake", "rounds", "awake×rounds", "product/n", "tree congestion (bits)")
+	for _, c := range []int{16, 32, 64} {
+		r := 4
+		pt, err := lowerbound.TradeoffExperiment(r, c, core.RunRandomized, int64(c))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			os.Exit(1)
+		}
+		tb.AddRow(pt.R, pt.C, pt.N, pt.Awake, pt.Rounds, pt.Product,
+			float64(pt.Product)/float64(pt.N), pt.TreeCongestion)
+	}
+	fmt.Print(tb.String())
+
+	fmt.Println()
+	fmt.Println("end-to-end SD → DSD → CSS → MST reduction (decoded vs ground truth):")
+	grc, err := sleepmst.NewGRC(5, 32, 3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstbench:", err)
+		os.Exit(1)
+	}
+	tb2 := stats.NewTable("trial", "x", "y", "truth disjoint", "decoded", "ok")
+	for s := int64(0); s < 6; s++ {
+		x := lowerbound.RandomBits(grc.R-1, s*2+1)
+		y := lowerbound.RandomBits(grc.R-1, s*2+2)
+		ins, err := sleepmst.NewDSDInstance(grc, x, y)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			os.Exit(1)
+		}
+		got, _, err := sleepmst.SolveSDViaMST(ins, sleepmst.Randomized, sleepmst.Options{Seed: s})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			os.Exit(1)
+		}
+		tb2.AddRow(s, bits(x), bits(y), ins.Disjoint(), got, got == ins.Disjoint())
+	}
+	fmt.Print(tb2.String())
+	fmt.Println()
+}
+
+func bits(b []bool) string {
+	var sb strings.Builder
+	for _, v := range b {
+		if v {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("32, 64,128")
+	if err != nil || len(got) != 3 || got[0] != 32 || got[2] != 128 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	for _, bad := range []string{"", "abc", "3", "32,-1"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q): want error", bad)
+		}
+	}
+}
+
+func TestBitsRendering(t *testing.T) {
+	if got := bits([]bool{true, false, true}); got != "101" {
+		t.Errorf("bits = %q", got)
+	}
+	if got := bits(nil); got != "" {
+		t.Errorf("bits(nil) = %q", got)
+	}
+}
+
+func TestHarnessSweepSmall(t *testing.T) {
+	h := &harness{ns: []int{16, 24}, seeds: 1, deg: 2}
+	ns, awake, rounds := h.sweep(0 /* randomized */, 0)
+	if len(ns) != 2 || len(awake) != 2 || len(rounds) != 2 {
+		t.Fatalf("sweep shapes: %v %v %v", ns, awake, rounds)
+	}
+	if awake[0] <= 0 || rounds[0] <= 0 {
+		t.Errorf("non-positive measurements: %v %v", awake, rounds)
+	}
+	// maxN filter drops the larger size.
+	ns2, _, _ := h.sweep(0, 16)
+	if len(ns2) != 1 || ns2[0] != 16 {
+		t.Errorf("maxN filter: %v", ns2)
+	}
+}

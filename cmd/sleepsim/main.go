@@ -1,0 +1,137 @@
+// Command sleepsim runs one sleeping-model MST computation and prints
+// its metrics, an optional awake-timeline trace, and the verification
+// against the sequential reference MST.
+//
+// Examples:
+//
+//	sleepsim -graph random -n 256 -m 768 -algo randomized
+//	sleepsim -graph ring -n 128 -algo deterministic -trace
+//	sleepsim -graph sensor -n 200 -radius 0.15 -algo logstar -hist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sleepmst"
+	"sleepmst/internal/core"
+	"sleepmst/internal/sim"
+	"sleepmst/internal/trace"
+)
+
+func main() {
+	var (
+		graphKind = flag.String("graph", "random", "topology: random|ring|path|grid|complete|sensor")
+		n         = flag.Int("n", 128, "number of nodes")
+		m         = flag.Int("m", 0, "edges for -graph random (default 3n)")
+		rows      = flag.Int("rows", 0, "rows for -graph grid (default sqrt(n))")
+		radius    = flag.Float64("radius", 0.2, "radius for -graph sensor")
+		seed      = flag.Int64("seed", 1, "seed for topology, weights and algorithm randomness")
+		algoName  = flag.String("algo", "randomized", "algorithm: randomized|deterministic|logstar|baseline|ghs")
+		idSpace   = flag.Int64("idspace", 0, "reassign random IDs in [1, idspace] (0 = IDs 1..n)")
+		bitCap    = flag.Bool("congest", false, "enforce the O(log n)-bit CONGEST message cap")
+		showTrace = flag.Bool("trace", false, "print the awake-timeline trace")
+		showHist  = flag.Bool("hist", false, "print the awake-count histogram")
+		width     = flag.Int("width", 72, "trace width in columns")
+	)
+	flag.Parse()
+
+	if err := run(*graphKind, *n, *m, *rows, *radius, *seed, *algoName, *idSpace, *bitCap, *showTrace, *showHist, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "sleepsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphKind string, n, m, rows int, radius float64, seed int64, algoName string,
+	idSpace int64, bitCap, showTrace, showHist bool, width int) error {
+	g, err := buildGraph(graphKind, n, m, rows, radius, seed)
+	if err != nil {
+		return err
+	}
+	if idSpace > 0 {
+		sleepmst.WithRandomIDs(g, idSpace, seed+1)
+	}
+	algo, err := sleepmst.ParseAlgorithm(algoName)
+	if err != nil {
+		return err
+	}
+	opts := sleepmst.Options{
+		Seed:              seed,
+		RecordAwakeRounds: showTrace,
+		RecordPhases:      true,
+	}
+	if bitCap {
+		opts.BitCap = core.DefaultBitCap(g)
+	}
+	rep, err := sleepmst.Run(algo, g, opts)
+	if err != nil {
+		return err
+	}
+	res := rep.Result
+	fmt.Printf("graph          : %s n=%d m=%d maxID=%d\n", graphKind, g.N(), g.M(), g.MaxID())
+	fmt.Printf("algorithm      : %s\n", algo)
+	fmt.Printf("phases         : %d\n", rep.Phases)
+	fmt.Printf("awake max/avg  : %d / %.2f\n", res.MaxAwake(), res.MeanAwake())
+	fmt.Printf("rounds         : %d (busy %d)\n", res.Rounds, res.BusyRounds)
+	fmt.Printf("messages       : sent=%d delivered=%d lost=%d\n",
+		res.MessagesSent, res.MessagesDelivered, res.MessagesLost)
+	fmt.Printf("bits           : sent=%d, max received per node=%d\n", res.BitsSent, res.MaxBitsReceived())
+	fmt.Printf("MST weight     : %d (verified=%v)\n", rep.MSTWeight(), rep.Verified())
+	if len(rep.FragmentsPerPhase) > 0 {
+		fmt.Printf("fragment decay : %v\n", rep.FragmentsPerPhase)
+	}
+	if showHist {
+		fmt.Println()
+		fmt.Print(trace.Histogram(res, 50))
+	}
+	if showTrace {
+		fmt.Println()
+		fmt.Print(traceOut(res, width, g.N()))
+	}
+	return nil
+}
+
+func traceOut(res *sim.Result, width, n int) string {
+	if n > 64 {
+		fmt.Printf("(showing first 64 of %d nodes)\n", n)
+		clipped := *res
+		clipped.AwakeRounds = res.AwakeRounds[:64]
+		clipped.AwakePerNode = res.AwakePerNode[:64]
+		return trace.Timeline(&clipped, width)
+	}
+	return trace.Timeline(res, width)
+}
+
+func buildGraph(kind string, n, m, rows int, radius float64, seed int64) (*sleepmst.Graph, error) {
+	switch kind {
+	case "random":
+		if m <= 0 {
+			m = 3 * n
+		}
+		return sleepmst.RandomConnected(n, m, seed), nil
+	case "ring":
+		return sleepmst.Ring(n, seed), nil
+	case "path":
+		return sleepmst.Path(n, seed), nil
+	case "grid":
+		if rows <= 0 {
+			rows = intSqrt(n)
+		}
+		return sleepmst.Grid(rows, (n+rows-1)/rows, seed), nil
+	case "complete":
+		return sleepmst.Complete(n, seed), nil
+	case "sensor":
+		return sleepmst.SensorNetwork(n, radius, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func intSqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,64 @@
+package main
+
+import "testing"
+
+func TestBuildGraphKinds(t *testing.T) {
+	cases := []struct {
+		kind  string
+		n     int
+		wantN int
+	}{
+		{"random", 20, 20},
+		{"ring", 12, 12},
+		{"path", 9, 9},
+		{"grid", 16, 16},
+		{"complete", 7, 7},
+		{"sensor", 25, 25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			g, err := buildGraph(tc.kind, tc.n, 0, 0, 0.3, 5)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if g.N() != tc.wantN {
+				t.Errorf("n = %d, want %d", g.N(), tc.wantN)
+			}
+		})
+	}
+	if _, err := buildGraph("nope", 10, 0, 0, 0.3, 5); err == nil {
+		t.Error("want error for unknown kind")
+	}
+}
+
+func TestGridDimensions(t *testing.T) {
+	// grid with non-square n: rows*cols >= n with default rows.
+	g, err := buildGraph("grid", 10, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if g.N() < 10 {
+		t.Errorf("grid n = %d, want >= 10", g.N())
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	for n, want := range map[int]int{1: 1, 4: 2, 10: 4, 16: 4, 17: 5} {
+		if got := intSqrt(n); got != want {
+			t.Errorf("intSqrt(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// The whole CLI path minus flag parsing.
+	if err := run("ring", 16, 0, 0, 0, 3, "randomized", 0, true, false, false, 40); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run("path", 8, 0, 0, 0, 3, "deterministic", 32, false, true, true, 40); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run("ring", 8, 0, 0, 0, 3, "unknown-algo", 0, false, false, false, 40); err == nil {
+		t.Fatal("want error for unknown algorithm")
+	}
+}

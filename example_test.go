@@ -1,0 +1,85 @@
+package sleepmst_test
+
+import (
+	"fmt"
+
+	"sleepmst"
+)
+
+// The basic workflow: build a network, run the awake-optimal MST
+// algorithm, verify against the sequential reference.
+func Example() {
+	g := sleepmst.RandomConnected(64, 192, 7)
+	rep, err := sleepmst.Run(sleepmst.Randomized, g, sleepmst.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("edges:", len(rep.MSTEdges))
+	fmt.Println("verified:", rep.Verified())
+	fmt.Println("awake is logarithmic:", rep.AwakeComplexity() < 200)
+	fmt.Println("rounds are linearithmic:", rep.RoundComplexity() > 1000)
+	// Output:
+	// edges: 63
+	// verified: true
+	// awake is logarithmic: true
+	// rounds are linearithmic: true
+}
+
+// Deterministic-MST produces identical executions regardless of seed.
+func ExampleRun_deterministic() {
+	g := sleepmst.Grid(4, 4, 3)
+	a, err := sleepmst.Run(sleepmst.Deterministic, g, sleepmst.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	b, err := sleepmst.Run(sleepmst.Deterministic, g, sleepmst.Options{Seed: 999})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("same rounds:", a.RoundComplexity() == b.RoundComplexity())
+	fmt.Println("same awake:", a.AwakeComplexity() == b.AwakeComplexity())
+	// Output:
+	// same rounds: true
+	// same awake: true
+}
+
+// Leader election falls out of the MST construction: the final
+// fragment root is a leader every node knows.
+func ExampleElectLeader() {
+	g := sleepmst.Ring(32, 5)
+	res, err := sleepmst.ElectLeader(g, sleepmst.Options{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	agree := true
+	for _, id := range res.KnownBy {
+		if id != res.LeaderID {
+			agree = false
+		}
+	}
+	fmt.Println("all nodes agree:", agree)
+	// Output:
+	// all nodes agree: true
+}
+
+// The Theorem 4 reduction is executable: a set-disjointness instance
+// becomes edge weights on G_rc and the MST decides the answer.
+func ExampleSolveSDViaMST() {
+	grc, err := sleepmst.NewGRC(4, 16, 1)
+	if err != nil {
+		panic(err)
+	}
+	x := []bool{true, false, true}
+	y := []bool{false, true, true} // intersect at index 2
+	ins, err := sleepmst.NewDSDInstance(grc, x, y)
+	if err != nil {
+		panic(err)
+	}
+	disjoint, _, err := sleepmst.SolveSDViaMST(ins, sleepmst.Randomized, sleepmst.Options{Seed: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("disjoint:", disjoint)
+	// Output:
+	// disjoint: false
+}

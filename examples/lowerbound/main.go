@@ -1,0 +1,76 @@
+// Lowerbound: walks the Theorem 4 construction end to end. It builds
+// the Figure 1 graph G_rc, encodes a set-disjointness instance as edge
+// markings (DSD), lifts it to weights (CSS -> MST), solves it with the
+// sleeping-model MST algorithm, and reports the congestion at the
+// binary-tree nodes I that the proof charges against awake time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sleepmst"
+	"sleepmst/internal/lowerbound"
+	"sleepmst/internal/stats"
+)
+
+func main() {
+	grc, err := sleepmst.NewGRC(5, 64, 3)
+	if err != nil {
+		log.Fatalf("lowerbound: %v", err)
+	}
+	fmt.Printf("G_rc: r=%d rows x c=%d columns, n=%d nodes, |X|=%d spoke columns,\n",
+		grc.R, grc.C, grc.G.N(), len(grc.X))
+	fmt.Printf("      %d binary-tree nodes, diameter %d (Observation 1: Θ(c/log n))\n\n",
+		len(grc.InternalNodes), sleepmst.Diameter(grc.G))
+
+	// Alice's and Bob's inputs, one bit per row p_2..p_r.
+	x := []bool{true, false, true, false}
+	y := []bool{false, true, false, false}
+	ins, err := sleepmst.NewDSDInstance(grc, x, y)
+	if err != nil {
+		log.Fatalf("lowerbound: %v", err)
+	}
+	fmt.Printf("Alice's x = %v\nBob's   y = %v\n", bits(x), bits(y))
+	fmt.Printf("ground truth: disjoint = %v (CSS: marked subgraph connected = %v)\n\n",
+		ins.Disjoint(), ins.MarkedConnected())
+
+	disjoint, metrics, err := sleepmst.SolveSDViaMST(ins, sleepmst.Randomized, sleepmst.Options{Seed: 9})
+	if err != nil {
+		log.Fatalf("lowerbound: %v", err)
+	}
+	fmt.Printf("SD -> DSD -> CSS -> MST decoded answer: disjoint = %v\n\n", disjoint)
+
+	var cong int64
+	for _, v := range grc.InternalNodes {
+		if b := metrics.BitsReceivedPerNode[v]; b > cong {
+			cong = b
+		}
+	}
+	fmt.Printf("run metrics: awake=%d rounds=%d product=%d (n=%d)\n",
+		metrics.MaxAwake(), metrics.Rounds, metrics.MaxAwake()*metrics.Rounds, grc.G.N())
+	fmt.Printf("congestion at tree nodes I: %d bits received (max)\n\n", cong)
+
+	fmt.Println("awake x rounds trade-off across instance sizes (Theorem 4: Ω̃(n)):")
+	tb := stats.NewTable("c", "n", "awake", "rounds", "awake x rounds", "product/n")
+	for _, c := range []int{16, 32, 64} {
+		pt, err := lowerbound.TradeoffExperiment(4, c, sleepmst.Randomized.Runner(), int64(c))
+		if err != nil {
+			log.Fatalf("lowerbound: %v", err)
+		}
+		tb.AddRow(pt.C, pt.N, pt.Awake, pt.Rounds, pt.Product, float64(pt.Product)/float64(pt.N))
+	}
+	fmt.Print(tb.String())
+}
+
+func bits(b []bool) string {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		if v {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,39 @@
+// Quickstart: compute an MST in the sleeping model and inspect the
+// metrics that make the paper's headline result visible — O(log n)
+// awake rounds against Θ(n log n) total rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sleepmst"
+)
+
+func main() {
+	const n = 256
+	g := sleepmst.RandomConnected(n, 3*n, 42)
+
+	rep, err := sleepmst.Run(sleepmst.Randomized, g, sleepmst.Options{Seed: 7})
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+
+	fmt.Printf("network: n=%d nodes, m=%d edges\n", g.N(), g.M())
+	fmt.Printf("MST: %d edges, total weight %d, matches Kruskal: %v\n",
+		len(rep.MSTEdges), rep.MSTWeight(), rep.Verified())
+	fmt.Println()
+	fmt.Printf("awake complexity (max over nodes) : %6d  (%.1f x log2 n)\n",
+		rep.AwakeComplexity(), float64(rep.AwakeComplexity())/math.Log2(n))
+	fmt.Printf("awake complexity (node average)   : %8.1f\n", rep.Result.MeanAwake())
+	fmt.Printf("round complexity                  : %6d  (%.1f x n log2 n)\n",
+		rep.RoundComplexity(), float64(rep.RoundComplexity())/(n*math.Log2(n)))
+	fmt.Printf("GHS phases                        : %6d\n", rep.Phases)
+	fmt.Println()
+	fmt.Println("every node knows its incident MST edges (first five nodes):")
+	ports := sleepmst.MSTPorts(rep)
+	for v := 0; v < 5; v++ {
+		fmt.Printf("  node %d: MST on ports %v of %d\n", v, ports[v], g.Degree(v))
+	}
+}

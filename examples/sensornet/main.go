@@ -1,0 +1,46 @@
+// Sensornet: the paper's motivating scenario. A battery-powered
+// wireless sensor deployment computes an MST (the standard backbone
+// for energy-efficient broadcast); we compare the energy budget of the
+// sleeping-model algorithm against the traditional always-awake
+// execution on the same radio network.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sleepmst"
+	"sleepmst/internal/energy"
+	"sleepmst/internal/stats"
+)
+
+func main() {
+	const (
+		sensors  = 200
+		radius   = 0.14 // radio range in unit-square coordinates
+		batteryJ = 2.0  // coin-cell scale budget for the radio
+	)
+	g := sleepmst.SensorNetwork(sensors, radius, 2026)
+	fmt.Printf("sensor field: %d motes, %d radio links\n\n", g.N(), g.M())
+
+	tb := stats.NewTable("algorithm", "awake max", "awake mean", "rounds",
+		"worst node energy", "MST recomputations per battery")
+	for _, a := range []sleepmst.Algorithm{sleepmst.Randomized, sleepmst.LogStar, sleepmst.Baseline} {
+		rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: 11})
+		if err != nil {
+			log.Fatalf("sensornet: %s: %v", a, err)
+		}
+		if !rep.Verified() {
+			log.Fatalf("sensornet: %s computed a wrong tree", a)
+		}
+		budget := energy.TelosMote.Cost(rep.Result)
+		life := energy.TelosMote.Lifetime(rep.Result, batteryJ)
+		tb.AddRow(a.String(), rep.AwakeComplexity(), rep.Result.MeanAwake(),
+			rep.RoundComplexity(), fmt.Sprintf("%.1f uJ", budget.MaxUJ), fmt.Sprintf("%.1f", life))
+	}
+	fmt.Print(tb.String())
+	fmt.Println()
+	fmt.Println("The sleeping-model algorithms keep every mote awake for O(log n)")
+	fmt.Println("slots, so the MST backbone can be rebuilt orders of magnitude more")
+	fmt.Println("often on the same battery than with an always-awake protocol.")
+}

@@ -1,0 +1,51 @@
+// Tradeoff: compares all four algorithms on the same instances,
+// showing the awake/round trade-off space of Table 1 — the randomized
+// and deterministic algorithms sit at O(log n) awake with very
+// different round complexities, the log* variant trades a log* factor
+// of awake time for N-independence, and the always-awake baseline
+// collapses both measures into one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sleepmst"
+	"sleepmst/internal/stats"
+)
+
+func main() {
+	algorithms := []sleepmst.Algorithm{
+		sleepmst.Randomized, sleepmst.Deterministic, sleepmst.LogStar,
+		sleepmst.Baseline, sleepmst.ClassicGHS,
+	}
+	for _, n := range []int{64, 128} {
+		g := sleepmst.RandomConnected(n, 3*n, int64(n))
+		fmt.Printf("=== n=%d, m=%d ===\n", g.N(), g.M())
+		tb := stats.NewTable("algorithm", "awake", "awake/log2n", "rounds", "rounds/(n log2 n)", "phases")
+		for _, a := range algorithms {
+			rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: 5})
+			if err != nil {
+				log.Fatalf("tradeoff: %s n=%d: %v", a, n, err)
+			}
+			if !rep.Verified() {
+				log.Fatalf("tradeoff: %s computed a wrong MST", a)
+			}
+			logn := math.Log2(float64(n))
+			tb.AddRow(a.String(), rep.AwakeComplexity(),
+				float64(rep.AwakeComplexity())/logn,
+				rep.RoundComplexity(),
+				float64(rep.RoundComplexity())/(float64(n)*logn),
+				rep.Phases)
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+	}
+	fmt.Println("Reading the table: awake/log2n stays flat for the sleeping algorithms")
+	fmt.Println("(their awake complexity is Θ(log n)), while the baseline's awake time")
+	fmt.Println("equals its Θ(n log n) round complexity. The deterministic algorithm")
+	fmt.Println("pays a factor-N round overhead for its coloring; the log* variant")
+	fmt.Println("removes it at a log* n awake premium — the Theorem 4 lower bound says")
+	fmt.Println("no algorithm can make awake x rounds o(n/polylog n).")
+}

@@ -1,0 +1,3 @@
+module sleepmst
+
+go 1.22

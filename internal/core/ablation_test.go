@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"sleepmst/internal/graph"
+)
+
+// The accept-budget ablation: the paper caps valid incoming MOEs at 3
+// (supergraph degree <= 4, 5-color palette). Smaller budgets remain
+// correct — the supergraph just gets sparser and merging slower.
+
+func TestAcceptBudgetAblationCorrectness(t *testing.T) {
+	g := graph.RandomConnected(60, 180, graph.GenConfig{Seed: 31})
+	for budget := 1; budget <= MaxValidIncomingMOEs; budget++ {
+		for _, run := range []func(*graph.Graph, Options) (*Outcome, error){RunDeterministic, RunLogStar} {
+			out, err := run(g, Options{AcceptBudget: budget})
+			if err != nil {
+				t.Fatalf("budget %d: %v", budget, err)
+			}
+			if !graph.SameEdgeSet(out.MSTEdges, graph.Kruskal(g)) {
+				t.Fatalf("budget %d: wrong MST", budget)
+			}
+		}
+	}
+}
+
+func TestAcceptBudgetAblationConvergence(t *testing.T) {
+	// The budget changes the supergraph shape (degree <= budget+1) but
+	// not the guarantees: every setting converges within the phase
+	// bound, and the per-phase round cost is budget-independent (it is
+	// a function of n and N only). Interestingly the phase count is
+	// NOT monotone in the budget — a budget-1 supergraph is a
+	// near-matching whose Blue set covers about half the fragments —
+	// so we deliberately assert only the guarantees.
+	g := graph.RandomConnected(80, 240, graph.GenConfig{Seed: 32})
+	phaseLen := detPhaseBlocks(g.MaxID()) * (2*int64(g.N()) + 1)
+	for budget := 1; budget <= MaxValidIncomingMOEs; budget++ {
+		out, err := RunDeterministic(g, Options{AcceptBudget: budget})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if out.Phases > DeterministicPhaseBound(g.N()) {
+			t.Errorf("budget %d: %d phases exceeds bound", budget, out.Phases)
+		}
+		if out.Result.Rounds > int64(out.Phases)*phaseLen {
+			t.Errorf("budget %d: %d rounds exceeds %d phases x %d layout",
+				budget, out.Result.Rounds, out.Phases, phaseLen)
+		}
+	}
+}
+
+func TestAcceptBudgetValidation(t *testing.T) {
+	g := graph.Path(4, graph.GenConfig{Seed: 33})
+	for _, bad := range []int{-1, 4, 100} {
+		if _, err := RunDeterministic(g, Options{AcceptBudget: bad}); err == nil {
+			t.Errorf("budget %d accepted, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"sleepmst/internal/graph"
+)
+
+// RunBaseline runs the traditional-model (always awake) comparator:
+// the same GHS-style computation, but nodes are charged one awake
+// round for every round up to their local termination, exactly as in
+// the standard CONGEST model where a node is active for the whole
+// execution. Its awake complexity therefore equals its round
+// complexity, the paper's motivating gap (§1).
+func RunBaseline(g *graph.Graph, opts Options) (*Outcome, error) {
+	out, err := RunRandomized(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Re-charge awake time under the traditional model.
+	for i, h := range out.Result.HaltRound {
+		out.Result.AwakePerNode[i] = h
+	}
+	return out, nil
+}

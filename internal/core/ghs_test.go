@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"sleepmst/internal/graph"
+)
+
+func TestClassicGHSPath(t *testing.T) {
+	g := graph.Path(9, graph.GenConfig{Seed: 1})
+	checkMST(t, g, RunClassicGHS, Options{Seed: 1})
+}
+
+func TestClassicGHSCycle(t *testing.T) {
+	g := graph.Cycle(10, graph.GenConfig{Seed: 2})
+	checkMST(t, g, RunClassicGHS, Options{Seed: 2})
+}
+
+func TestClassicGHSStar(t *testing.T) {
+	g := graph.Star(8, graph.GenConfig{Seed: 3})
+	checkMST(t, g, RunClassicGHS, Options{Seed: 3})
+}
+
+func TestClassicGHSComplete(t *testing.T) {
+	g := graph.Complete(10, graph.GenConfig{Seed: 4})
+	checkMST(t, g, RunClassicGHS, Options{Seed: 4})
+}
+
+func TestClassicGHSRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := graph.RandomConnected(48, 120, graph.GenConfig{Seed: seed})
+		checkMST(t, g, RunClassicGHS, Options{Seed: seed})
+	}
+}
+
+func TestClassicGHSAlwaysAwake(t *testing.T) {
+	// The traditional model: every node is awake every round until it
+	// halts, so awake complexity equals the halt round exactly.
+	g := graph.RandomConnected(32, 80, graph.GenConfig{Seed: 9})
+	out, err := RunClassicGHS(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for v, awake := range out.Result.AwakePerNode {
+		if awake != out.Result.HaltRound[v] {
+			t.Fatalf("node %d: awake %d != halt round %d (nodes must never sleep mid-run)",
+				v, awake, out.Result.HaltRound[v])
+		}
+	}
+}
+
+func TestClassicGHSSingleNode(t *testing.T) {
+	g := graph.MustNew(1, nil)
+	out, err := RunClassicGHS(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(out.MSTEdges) != 0 {
+		t.Errorf("edges = %v", out.MSTEdges)
+	}
+}
+
+func TestClassicGHSChainMerges(t *testing.T) {
+	// A path with increasing weights makes every fragment's MOE point
+	// the same way, producing maximal merge chains — the case the
+	// sleeping algorithms must avoid and classic GHS embraces.
+	var edges []graph.Edge
+	const n = 17
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1, Weight: int64(i + 1)})
+	}
+	g := graph.MustNew(n, edges)
+	out := checkMST(t, g, RunClassicGHS, Options{Seed: 5})
+	// A chain of k fragments collapses in one phase: convergence must
+	// be fast (well under the Borůvka bound).
+	if out.Result.Rounds > 20*int64(n)*int64(bitlen(int64(n))) {
+		t.Errorf("rounds = %d, unexpectedly slow", out.Result.Rounds)
+	}
+}

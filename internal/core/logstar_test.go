@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"sleepmst/internal/graph"
+)
+
+func TestCVIterations(t *testing.T) {
+	cases := []struct {
+		maxColor int64
+		want     int
+	}{
+		{7, 0},   // already in the fixed-point palette
+		{8, 1},   // 4 bits -> max 7
+		{255, 2}, // 8 bits -> 15 -> 7
+		{1 << 20, 3},
+	}
+	for _, tc := range cases {
+		if got := CVIterations(tc.maxColor); got != tc.want {
+			t.Errorf("CVIterations(%d) = %d, want %d", tc.maxColor, got, tc.want)
+		}
+	}
+	// Monotone sanity over a large range: never more than 5 iterations
+	// for any realistic ID space.
+	for _, m := range []int64{10, 100, 10_000, 1 << 30, 1 << 62} {
+		if got := CVIterations(m); got > 5 {
+			t.Errorf("CVIterations(%d) = %d, want <= 5", m, got)
+		}
+	}
+}
+
+func TestCVStepProperness(t *testing.T) {
+	// Over all distinct pairs in a small range, the step must shrink
+	// colors and preserve parent-child distinctness when both update.
+	for own := int64(0); own < 64; own++ {
+		for parent := int64(0); parent < 64; parent++ {
+			if own == parent {
+				continue
+			}
+			a := cvStep(own, parent)
+			if a < 0 || a > 2*6+1 {
+				t.Fatalf("cvStep(%d,%d) = %d out of range", own, parent, a)
+			}
+		}
+	}
+	// Chain update preserves properness: for a path u-v-w with distinct
+	// colors, after one synchronized step u' != v'.
+	for u := int64(0); u < 32; u++ {
+		for v := int64(0); v < 32; v++ {
+			if u == v {
+				continue
+			}
+			for w := int64(0); w < 32; w++ {
+				if w == v {
+					continue
+				}
+				// v's parent is w; u's parent is v.
+				un := cvStep(u, v)
+				vn := cvStep(v, w)
+				if un == vn {
+					// They picked the same index k and same bit — but then
+					// u and v would agree at bit k, contradicting k being
+					// a differing index for u vs v... verify it never fires.
+					t.Fatalf("properness broken: u=%d v=%d w=%d -> %d == %d", u, v, w, un, vn)
+				}
+			}
+		}
+	}
+}
+
+func TestCVRootStep(t *testing.T) {
+	for own := int64(0); own < 100; own++ {
+		got := cvRootStep(own)
+		if got < 0 {
+			t.Fatalf("cvRootStep(%d) = %d", own, got)
+		}
+	}
+}
+
+func TestLogStarMSTBasicTopologies(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"path":     graph.Path(10, graph.GenConfig{Seed: 1}),
+		"cycle":    graph.Cycle(11, graph.GenConfig{Seed: 2}),
+		"star":     graph.Star(8, graph.GenConfig{Seed: 3}),
+		"complete": graph.Complete(10, graph.GenConfig{Seed: 4}),
+		"grid":     graph.Grid(4, 5, graph.GenConfig{Seed: 5}),
+	} {
+		t.Run(name, func(t *testing.T) {
+			checkMST(t, g, RunLogStar, Options{Seed: 1})
+		})
+	}
+}
+
+func TestLogStarMSTRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := graph.RandomConnected(40, 100, graph.GenConfig{Seed: seed})
+		checkMST(t, g, RunLogStar, Options{Seed: seed})
+	}
+}
+
+func TestLogStarRoundsIndependentOfIDSpace(t *testing.T) {
+	// Unlike Deterministic-MST, the log* variant's rounds must not
+	// scale linearly with N: going from N=n to N=64n should leave the
+	// phase length unchanged (CV iteration count changes by at most 1).
+	mk := func(idSpace int64) int64 {
+		g := graph.RandomConnected(24, 60, graph.GenConfig{Seed: 13})
+		if idSpace > 0 {
+			graph.RandomIDs(g, idSpace, 7)
+		}
+		out, err := RunLogStar(g, Options{Seed: 0})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.Result.Rounds / int64(out.Phases)
+	}
+	base := mk(0)
+	wide := mk(64 * 24)
+	if wide > 2*base {
+		t.Errorf("rounds/phase grew from %d to %d with a 64x ID space; log* variant must be N-independent", base, wide)
+	}
+}
+
+func TestLogStarRespectsBitCap(t *testing.T) {
+	g := graph.RandomConnected(32, 80, graph.GenConfig{Seed: 14})
+	if _, err := RunLogStar(g, Options{Seed: 0, BitCap: DefaultBitCap(g)}); err != nil {
+		t.Fatalf("run with CONGEST bit cap: %v", err)
+	}
+}
+
+func TestLogStarLargeIDs(t *testing.T) {
+	g := graph.RandomConnected(30, 70, graph.GenConfig{Seed: 15})
+	graph.RandomIDs(g, 1<<30, 3)
+	checkMST(t, g, RunLogStar, Options{Seed: 0})
+}
+
+func TestLogStarMSTLargerGraphsRegression(t *testing.T) {
+	// Regression for the one-directional mutual-MOE orientation bug:
+	// larger, denser graphs produce rejected mutual MOEs regularly.
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.RandomConnected(128, 384, graph.GenConfig{Seed: 128000 + seed})
+		checkMST(t, g, RunLogStar, Options{Seed: seed})
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sleepmst/internal/graph"
+)
+
+func TestElectLeaderAgreement(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.RandomConnected(40, 100, graph.GenConfig{Seed: seed})
+		res, err := ElectLeader(g, Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if g.IndexOfID(res.LeaderID) < 0 {
+			t.Errorf("seed %d: leader %d is not a node ID", seed, res.LeaderID)
+		}
+		for v, id := range res.KnownBy {
+			if id != res.LeaderID {
+				t.Fatalf("seed %d: node %d believes %d, leader is %d", seed, v, id, res.LeaderID)
+			}
+		}
+	}
+}
+
+func TestElectLeaderAwakeLogarithmic(t *testing.T) {
+	g := graph.RandomConnected(256, 768, graph.GenConfig{Seed: 3})
+	res, err := ElectLeader(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if float64(res.Result.MaxAwake()) > 40*math.Log2(256) {
+		t.Errorf("awake = %d, want O(log n)", res.Result.MaxAwake())
+	}
+}
+
+func TestSpanningTreeIsSpanning(t *testing.T) {
+	g := graph.RandomGeometric(60, 0.25, graph.GenConfig{Seed: 4})
+	out, err := SpanningTree(g, Options{Seed: 4})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !graph.IsSpanningTree(g, out.MSTEdges) {
+		t.Error("result is not a spanning tree")
+	}
+}
+
+func TestAggregateMin(t *testing.T) {
+	g := graph.RandomConnected(50, 120, graph.GenConfig{Seed: 5})
+	values := make([]int64, g.N())
+	want := int64(1 << 40)
+	for v := range values {
+		values[v] = int64(1000 + (v*7919)%997)
+		if values[v] < want {
+			want = values[v]
+		}
+	}
+	res, err := AggregateMin(g, values, Options{Seed: 5})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Value != want {
+		t.Errorf("aggregate = %d, want %d", res.Value, want)
+	}
+	for v, x := range res.PerNode {
+		if x != want {
+			t.Fatalf("node %d holds %d, want %d", v, x, want)
+		}
+	}
+	// The epilogue must not change the asymptotics.
+	if float64(res.Result.MaxAwake()) > 40*math.Log2(float64(g.N()))+4 {
+		t.Errorf("awake = %d, want O(log n)", res.Result.MaxAwake())
+	}
+}
+
+func TestAggregateMinValidation(t *testing.T) {
+	g := graph.Path(4, graph.GenConfig{Seed: 6})
+	if _, err := AggregateMin(g, []int64{1, 2}, Options{}); err == nil {
+		t.Error("want error for wrong value count")
+	}
+}
+
+func TestBroadcastFrom(t *testing.T) {
+	g := graph.RandomConnected(40, 90, graph.GenConfig{Seed: 7})
+	for _, source := range []int{0, 17, 39} {
+		res, err := BroadcastFrom(g, source, 424242+int64(source), Options{Seed: 7})
+		if err != nil {
+			t.Fatalf("source %d: %v", source, err)
+		}
+		for v, x := range res.PerNode {
+			if x != 424242+int64(source) {
+				t.Fatalf("source %d: node %d got %d", source, v, x)
+			}
+		}
+	}
+}
+
+func TestBroadcastFromValidation(t *testing.T) {
+	g := graph.Path(4, graph.GenConfig{Seed: 8})
+	if _, err := BroadcastFrom(g, 99, 1, Options{}); err == nil {
+		t.Error("want error for out-of-range source")
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sleepmst/internal/graph"
+)
+
+// checkMST runs the given algorithm and verifies the result against
+// Kruskal.
+func checkMST(t *testing.T, g *graph.Graph, run func(*graph.Graph, Options) (*Outcome, error), opts Options) *Outcome {
+	t.Helper()
+	out, err := run(g, opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := graph.Kruskal(g)
+	if !graph.SameEdgeSet(out.MSTEdges, want) {
+		t.Fatalf("MST mismatch: got %d edges weight %d, want %d edges weight %d",
+			len(out.MSTEdges), graph.TotalWeight(out.MSTEdges), len(want), graph.TotalWeight(want))
+	}
+	return out
+}
+
+func TestRandomizedMSTPath(t *testing.T) {
+	g := graph.Path(10, graph.GenConfig{Seed: 1})
+	checkMST(t, g, RunRandomized, Options{Seed: 1})
+}
+
+func TestRandomizedMSTCycle(t *testing.T) {
+	g := graph.Cycle(12, graph.GenConfig{Seed: 2})
+	checkMST(t, g, RunRandomized, Options{Seed: 2})
+}
+
+func TestRandomizedMSTComplete(t *testing.T) {
+	g := graph.Complete(16, graph.GenConfig{Seed: 3})
+	checkMST(t, g, RunRandomized, Options{Seed: 3})
+}
+
+func TestRandomizedMSTRandomGraphsManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g := graph.RandomConnected(50, 120, graph.GenConfig{Seed: seed})
+		out := checkMST(t, g, RunRandomized, Options{Seed: seed})
+		if out.Phases > RandomizedPhaseBound(g.N()) {
+			t.Errorf("seed %d: %d phases exceeds bound %d", seed, out.Phases, RandomizedPhaseBound(g.N()))
+		}
+	}
+}
+
+func TestRandomizedMSTSingleNode(t *testing.T) {
+	g := graph.MustNew(1, nil)
+	out, err := RunRandomized(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(out.MSTEdges) != 0 {
+		t.Errorf("MST edges = %v, want none", out.MSTEdges)
+	}
+}
+
+func TestRandomizedMSTTwoNodes(t *testing.T) {
+	g := graph.Path(2, graph.GenConfig{Seed: 4})
+	checkMST(t, g, RunRandomized, Options{Seed: 4})
+}
+
+func TestRandomizedMSTTieBrokenWeights(t *testing.T) {
+	// All weights equal: the tie-broken key must still yield a unique,
+	// agreed-upon MST.
+	g := graph.Complete(10, graph.GenConfig{Seed: 5, Weights: graph.WeightsUnit})
+	checkMST(t, g, RunRandomized, Options{Seed: 5})
+}
+
+func TestRandomizedAwakeComplexityLogarithmic(t *testing.T) {
+	// Awake complexity should scale like O(log n): measure the
+	// constant at two sizes and require the large-n constant to stay
+	// within the O(log n) envelope observed at small n (factor 2).
+	ratio := func(n int) float64 {
+		g := graph.RandomConnected(n, 3*n, graph.GenConfig{Seed: int64(n)})
+		out, err := RunRandomized(g, Options{Seed: int64(n)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		return float64(out.Result.MaxAwake()) / math.Log2(float64(n))
+	}
+	small, large := ratio(32), ratio(512)
+	if large > 2*small {
+		t.Errorf("awake/log2(n) grew from %.2f (n=32) to %.2f (n=512); not logarithmic", small, large)
+	}
+}
+
+func TestRandomizedRoundComplexityNearNLogN(t *testing.T) {
+	g := graph.RandomConnected(128, 384, graph.GenConfig{Seed: 6})
+	out, err := RunRandomized(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	n := float64(g.N())
+	bound := 60 * n * math.Log2(n) // 9 blocks x ~2n rounds x ~2.3 log2 n phases
+	if float64(out.Result.Rounds) > bound {
+		t.Errorf("rounds = %d, want <= %.0f (O(n log n))", out.Result.Rounds, bound)
+	}
+}
+
+func TestRandomizedRespectsBitCap(t *testing.T) {
+	g := graph.RandomConnected(64, 160, graph.GenConfig{Seed: 7})
+	_, err := RunRandomized(g, Options{Seed: 7, BitCap: DefaultBitCap(g)})
+	if err != nil {
+		t.Fatalf("run with CONGEST bit cap: %v", err)
+	}
+}
+
+func TestRandomizedFragmentDecay(t *testing.T) {
+	g := graph.RandomConnected(100, 300, graph.GenConfig{Seed: 8})
+	out, err := RunRandomized(g, Options{Seed: 8, RecordPhases: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	counts := out.FragmentsPerPhase
+	if len(counts) == 0 {
+		t.Fatal("no per-phase fragment counts recorded")
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Errorf("fragment count increased: phase %d had %d, phase %d has %d", i-1, counts[i-1], i, counts[i])
+		}
+	}
+	if counts[len(counts)-1] != 1 {
+		t.Errorf("final fragment count = %d, want 1", counts[len(counts)-1])
+	}
+}
+
+func TestRandomizedDisconnectedRejected(t *testing.T) {
+	g := graph.MustNew(4, []graph.Edge{{U: 0, V: 1, Weight: 1}, {U: 2, V: 3, Weight: 2}})
+	if _, err := RunRandomized(g, Options{Seed: 1}); err == nil {
+		t.Fatal("want error for disconnected graph")
+	}
+}
+
+func TestRandomizedNotConvergedDetected(t *testing.T) {
+	// With a single phase on a path, convergence is impossible for
+	// n >= 8 under any coin flips (at best fragments halve).
+	g := graph.Path(16, graph.GenConfig{Seed: 9})
+	_, err := RunRandomized(g, Options{Seed: 9, MaxPhases: 1})
+	if err == nil || !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+}
+
+func TestBaselineAwakeEqualsRounds(t *testing.T) {
+	g := graph.RandomConnected(48, 100, graph.GenConfig{Seed: 10})
+	out, err := RunBaseline(g, Options{Seed: 10})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := out.Result.MaxAwake(); got != out.Result.MaxHaltRound() {
+		t.Errorf("baseline max awake %d != max halt round %d", got, out.Result.MaxHaltRound())
+	}
+	// The baseline must be dramatically more expensive than the
+	// sleeping-model awake complexity on the same instance.
+	sleeping, err := RunRandomized(g, Options{Seed: 10})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Result.MaxAwake() < 10*sleeping.Result.MaxAwake() {
+		t.Errorf("baseline awake %d vs sleeping awake %d: expected >= 10x gap",
+			out.Result.MaxAwake(), sleeping.Result.MaxAwake())
+	}
+}
+
+func TestRandomizedDeterministicGivenSeed(t *testing.T) {
+	g := graph.RandomConnected(60, 150, graph.GenConfig{Seed: 11})
+	a, err := RunRandomized(g, Options{Seed: 11})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := RunRandomized(g, Options{Seed: 11})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if a.Result.Rounds != b.Result.Rounds || a.Phases != b.Phases ||
+		a.Result.MaxAwake() != b.Result.MaxAwake() {
+		t.Errorf("same seed diverged: (%d,%d,%d) vs (%d,%d,%d)",
+			a.Result.Rounds, a.Phases, a.Result.MaxAwake(),
+			b.Result.Rounds, b.Phases, b.Result.MaxAwake())
+	}
+}
+
+func TestPhaseBounds(t *testing.T) {
+	if RandomizedPhaseBound(1) != 1 {
+		t.Errorf("bound(1) = %d", RandomizedPhaseBound(1))
+	}
+	if b := RandomizedPhaseBound(1024); b != 4*25+1 {
+		t.Errorf("bound(1024) = %d, want 101", b)
+	}
+	if b := DeterministicPhaseBound(100); b != 101 {
+		t.Errorf("det bound(100) = %d, want 101", b)
+	}
+}
+
+func TestRandomizedWithinAwakeBudget(t *testing.T) {
+	// Runtime enforcement of the O(log n) awake claim: give each node a
+	// c*log2(n) awake budget and require the run to complete within it.
+	n := 256
+	g := graph.RandomConnected(n, 3*n, graph.GenConfig{Seed: 21})
+	budget := int64(40 * math.Log2(float64(n)))
+	if _, err := RunRandomized(g, Options{Seed: 21, AwakeBudget: budget}); err != nil {
+		t.Fatalf("run exceeded awake budget %d: %v", budget, err)
+	}
+}

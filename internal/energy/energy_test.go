@@ -1,0 +1,70 @@
+package energy
+
+import (
+	"testing"
+
+	"sleepmst/internal/core"
+	"sleepmst/internal/graph"
+	"sleepmst/internal/sim"
+)
+
+func TestNodeCostArithmetic(t *testing.T) {
+	res := &sim.Result{
+		AwakePerNode:        []int64{10},
+		HaltRound:           []int64{100},
+		MessagesSentPerNode: []int64{5},
+	}
+	m := Model{AwakeRoundUJ: 2, SendMsgUJ: 3, SleepRoundUJ: 0.5}
+	// 10 awake * 2 + 5 msgs * 3 + 90 sleep * 0.5 = 20 + 15 + 45.
+	if got := m.NodeCost(res, 0); got != 80 {
+		t.Errorf("cost = %v, want 80", got)
+	}
+}
+
+func TestCostAggregation(t *testing.T) {
+	res := &sim.Result{
+		AwakePerNode:        []int64{1, 3},
+		HaltRound:           []int64{1, 3},
+		MessagesSentPerNode: []int64{0, 0},
+	}
+	m := Model{AwakeRoundUJ: 10}
+	b := m.Cost(res)
+	if b.MaxUJ != 30 || b.TotalUJ != 40 || b.MeanUJ != 20 {
+		t.Errorf("budget = %+v", b)
+	}
+	if b.String() == "" {
+		t.Error("empty budget string")
+	}
+}
+
+func TestSleepingSavesEnergyEndToEnd(t *testing.T) {
+	// The paper's motivating claim, in joules: on the same instance,
+	// the sleeping-model MST must be dramatically cheaper per node
+	// than the always-awake baseline.
+	g := graph.RandomGeometric(96, 0.2, graph.GenConfig{Seed: 5})
+	sleeping, err := core.RunRandomized(g, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	baseline, err := core.RunBaseline(g, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	cs := TelosMote.Cost(sleeping.Result)
+	cb := TelosMote.Cost(baseline.Result)
+	if cb.MaxUJ < 5*cs.MaxUJ {
+		t.Errorf("baseline max %.0fuJ vs sleeping max %.0fuJ: want >= 5x gap", cb.MaxUJ, cs.MaxUJ)
+	}
+	ls := TelosMote.Lifetime(sleeping.Result, 1.0)
+	lb := TelosMote.Lifetime(baseline.Result, 1.0)
+	if ls <= lb {
+		t.Errorf("lifetime sleeping %.0f <= baseline %.0f", ls, lb)
+	}
+}
+
+func TestLifetimeZeroForEmptyRun(t *testing.T) {
+	res := &sim.Result{AwakePerNode: []int64{0}, HaltRound: []int64{0}, MessagesSentPerNode: []int64{0}}
+	if l := TelosMote.Lifetime(res, 1); l != 0 {
+		t.Errorf("lifetime = %v, want 0", l)
+	}
+}

@@ -1,0 +1,93 @@
+package graph
+
+// BFS returns the hop distances from src to every node (-1 if
+// unreachable).
+func BFS(g *Graph, src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, p := range g.Ports(v) {
+			if dist[p.To] < 0 {
+				dist[p.To] = dist[v] + 1
+				queue = append(queue, p.To)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether the graph is connected.
+func IsConnected(g *Graph) bool {
+	for _, d := range BFS(g, 0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum hop distance from src, or -1 if the
+// graph is disconnected.
+func Eccentricity(g *Graph, src int) int {
+	ecc := 0
+	for _, d := range BFS(g, src) {
+		if d < 0 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact hop diameter via all-sources BFS, or -1 if
+// disconnected. O(n·m); fine for the experiment sizes.
+func Diameter(g *Graph) int {
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		e := Eccentricity(g, v)
+		if e < 0 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// DiameterDoubleSweep returns a fast lower bound on the diameter via a
+// double BFS sweep (exact on trees).
+func DiameterDoubleSweep(g *Graph) int {
+	d0 := BFS(g, 0)
+	far := 0
+	for v, d := range d0 {
+		if d > d0[far] {
+			far = v
+		}
+	}
+	ecc := Eccentricity(g, far)
+	return ecc
+}
+
+// MaxDegree returns the maximum node degree.
+func MaxDegree(g *Graph) int {
+	m := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// HopDistance returns the hop distance between u and v (-1 if
+// unreachable).
+func HopDistance(g *Graph, u, v int) int { return BFS(g, u)[v] }

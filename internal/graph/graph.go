@@ -1,0 +1,241 @@
+// Package graph provides weighted undirected graphs with CONGEST-style
+// port numbering, generators for the topologies used in the paper's
+// experiments (including the lower-bound family G_rc), reference MST
+// algorithms (Kruskal, Prim), and structural analysis helpers.
+//
+// All graphs are simple (no self-loops, no multi-edges) and connected
+// unless stated otherwise. Edge weights are int64 and the generators
+// assign distinct weights so that the MST is unique; WeightKey provides
+// a total order that breaks ties deterministically for non-distinct
+// inputs, matching the paper's remark that results generalize readily.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected weighted edge between node indices U and V.
+type Edge struct {
+	U, V   int
+	Weight int64
+}
+
+// Key returns the tie-breaking total-order key of the edge.
+func (e Edge) Key() WeightKey {
+	u, v := e.U, e.V
+	if u > v {
+		u, v = v, u
+	}
+	return WeightKey{W: e.Weight, A: int64(u), B: int64(v)}
+}
+
+// WeightKey is a lexicographic (weight, min endpoint, max endpoint) key.
+// With distinct weights the endpoints never matter; with duplicate
+// weights the key still induces a unique MST.
+type WeightKey struct {
+	W, A, B int64
+}
+
+// Less reports whether k orders strictly before o.
+func (k WeightKey) Less(o WeightKey) bool {
+	if k.W != o.W {
+		return k.W < o.W
+	}
+	if k.A != o.A {
+		return k.A < o.A
+	}
+	return k.B < o.B
+}
+
+// MaxWeightKey is a key greater than every key produced by Edge.Key.
+var MaxWeightKey = WeightKey{W: 1<<62 - 1, A: 1<<62 - 1, B: 1<<62 - 1}
+
+// Port describes one endpoint slot of an edge as seen from a node.
+// A node with degree d has ports 0..d-1; port p connects to node To,
+// which sees the same edge through its port RevPort.
+type Port struct {
+	To      int   // neighbor node index
+	Weight  int64 // edge weight
+	RevPort int   // port number of this edge at the neighbor
+	EdgeIdx int   // index into Graph.Edges
+}
+
+// Graph is an undirected weighted graph over nodes 0..N()-1 with
+// per-node port tables. Node identifiers (IDs) are distinct and
+// strictly positive; by default node i has ID i+1 (so IDs lie in
+// [1, n], the range the deterministic algorithm assumes).
+type Graph struct {
+	adj   [][]Port
+	edges []Edge
+	ids   []int64
+}
+
+// New builds a graph with n nodes and the given edges.
+// It returns an error for invalid endpoints, self-loops or duplicates.
+func New(n int, edges []Edge) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: n must be positive, got %d", n)
+	}
+	g := &Graph{
+		adj:   make([][]Port, n),
+		edges: make([]Edge, 0, len(edges)),
+		ids:   make([]int64, n),
+	}
+	for i := range g.ids {
+		g.ids[i] = int64(i + 1)
+	}
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge %v out of range [0,%d)", e, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self-loop at node %d", e.U)
+		}
+		k := [2]int{min(e.U, e.V), max(e.U, e.V)}
+		if seen[k] {
+			return nil, fmt.Errorf("graph: duplicate edge %d-%d", k[0], k[1])
+		}
+		seen[k] = true
+		g.addEdge(e)
+	}
+	return g, nil
+}
+
+// MustNew is New but panics on error; intended for tests and generators
+// that construct edges programmatically.
+func MustNew(n int, edges []Edge) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) addEdge(e Edge) {
+	idx := len(g.edges)
+	g.edges = append(g.edges, e)
+	pu := Port{To: e.V, Weight: e.Weight, RevPort: len(g.adj[e.V]), EdgeIdx: idx}
+	pv := Port{To: e.U, Weight: e.Weight, RevPort: len(g.adj[e.U]), EdgeIdx: idx}
+	g.adj[e.U] = append(g.adj[e.U], pu)
+	g.adj[e.V] = append(g.adj[e.V], pv)
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Ports returns the port table of node v. The returned slice must not
+// be modified.
+func (g *Graph) Ports(v int) []Port { return g.adj[v] }
+
+// ID returns the identifier of node v.
+func (g *Graph) ID(v int) int64 { return g.ids[v] }
+
+// MaxID returns the largest node identifier (the paper's N).
+func (g *Graph) MaxID() int64 {
+	var m int64
+	for _, id := range g.ids {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}
+
+// SetIDs overwrites the node identifiers. IDs must be distinct and
+// strictly positive.
+func (g *Graph) SetIDs(ids []int64) error {
+	if len(ids) != g.N() {
+		return fmt.Errorf("graph: got %d ids for %d nodes", len(ids), g.N())
+	}
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if id <= 0 {
+			return fmt.Errorf("graph: id %d is not strictly positive", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("graph: duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	copy(g.ids, ids)
+	return nil
+}
+
+// IndexOfID returns the node index holding the given ID, or -1.
+func (g *Graph) IndexOfID(id int64) int {
+	for i, x := range g.ids {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasDistinctWeights reports whether all edge weights are distinct.
+func (g *Graph) HasDistinctWeights() bool {
+	seen := make(map[int64]bool, len(g.edges))
+	for _, e := range g.edges {
+		if seen[e.Weight] {
+			return false
+		}
+		seen[e.Weight] = true
+	}
+	return true
+}
+
+// TotalWeight sums the weights of the given edges.
+func TotalWeight(edges []Edge) int64 {
+	var s int64
+	for _, e := range edges {
+		s += e.Weight
+	}
+	return s
+}
+
+// SortEdgesByKey sorts edges in place by their tie-broken weight key.
+func SortEdgesByKey(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Key().Less(edges[j].Key()) })
+}
+
+// EdgeSet converts an edge list into a canonical set representation
+// keyed by (min endpoint, max endpoint), useful for comparing MSTs.
+func EdgeSet(edges []Edge) map[[2]int]int64 {
+	s := make(map[[2]int]int64, len(edges))
+	for _, e := range edges {
+		s[[2]int{min(e.U, e.V), max(e.U, e.V)}] = e.Weight
+	}
+	return s
+}
+
+// SameEdgeSet reports whether two edge lists describe the same set of
+// undirected edges.
+func SameEdgeSet(a, b []Edge) bool {
+	sa, sb := EdgeSet(a), EdgeSet(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k, w := range sa {
+		if w2, ok := sb[k]; !ok || w2 != w {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadEdges(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+	}{
+		{"zero nodes", 0, nil},
+		{"out of range", 2, []Edge{{U: 0, V: 5}}},
+		{"negative", 2, []Edge{{U: -1, V: 0}}},
+		{"self loop", 2, []Edge{{U: 1, V: 1}}},
+		{"duplicate", 3, []Edge{{U: 0, V: 1}, {U: 1, V: 0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.n, tc.edges); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestPortSymmetry(t *testing.T) {
+	g := RandomConnected(40, 120, GenConfig{Seed: 1})
+	for v := 0; v < g.N(); v++ {
+		for p, pt := range g.Ports(v) {
+			back := g.Ports(pt.To)[pt.RevPort]
+			if back.To != v || back.RevPort != p {
+				t.Fatalf("port symmetry broken at node %d port %d", v, p)
+			}
+			if back.Weight != pt.Weight || back.EdgeIdx != pt.EdgeIdx {
+				t.Fatalf("edge data mismatch at node %d port %d", v, p)
+			}
+		}
+	}
+}
+
+func TestDegreeSumIsTwiceEdges(t *testing.T) {
+	g := RandomConnected(30, 80, GenConfig{Seed: 2})
+	sum := 0
+	for v := 0; v < g.N(); v++ {
+		sum += g.Degree(v)
+	}
+	if sum != 2*g.M() {
+		t.Errorf("degree sum %d != 2m = %d", sum, 2*g.M())
+	}
+}
+
+func TestSetIDsValidation(t *testing.T) {
+	g := Path(3, GenConfig{Seed: 3})
+	if err := g.SetIDs([]int64{5, 9, 2}); err != nil {
+		t.Fatalf("valid ids rejected: %v", err)
+	}
+	if g.MaxID() != 9 {
+		t.Errorf("MaxID = %d, want 9", g.MaxID())
+	}
+	if g.IndexOfID(9) != 1 {
+		t.Errorf("IndexOfID(9) = %d, want 1", g.IndexOfID(9))
+	}
+	if g.IndexOfID(42) != -1 {
+		t.Errorf("IndexOfID(42) = %d, want -1", g.IndexOfID(42))
+	}
+	for _, bad := range [][]int64{
+		{1, 2},          // wrong length
+		{1, 2, 2},       // duplicate
+		{0, 1, 2},       // non-positive
+		{1, -1, 2},      // negative
+		{1, 2, 3, 4, 5}, // too long
+	} {
+		if err := g.SetIDs(bad); err == nil {
+			t.Errorf("SetIDs(%v): want error", bad)
+		}
+	}
+}
+
+func TestWeightKeyTotalOrder(t *testing.T) {
+	f := func(a, b WeightKey) bool {
+		// Antisymmetry: exactly one of <, >, == holds.
+		less, greater := a.Less(b), b.Less(a)
+		if a == b {
+			return !less && !greater
+		}
+		return less != greater
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeKeyNormalizesEndpoints(t *testing.T) {
+	e1 := Edge{U: 3, V: 7, Weight: 5}
+	e2 := Edge{U: 7, V: 3, Weight: 5}
+	if e1.Key() != e2.Key() {
+		t.Errorf("keys differ: %v vs %v", e1.Key(), e2.Key())
+	}
+}
+
+func TestGeneratorsConnectedAndDistinct(t *testing.T) {
+	gens := map[string]*Graph{
+		"path":        Path(17, GenConfig{Seed: 4}),
+		"cycle":       Cycle(17, GenConfig{Seed: 4}),
+		"star":        Star(17, GenConfig{Seed: 4}),
+		"complete":    Complete(9, GenConfig{Seed: 4}),
+		"grid":        Grid(4, 5, GenConfig{Seed: 4}),
+		"btree":       BinaryTree(17, GenConfig{Seed: 4}),
+		"caterpillar": Caterpillar(5, 3, GenConfig{Seed: 4}),
+		"random":      RandomConnected(25, 60, GenConfig{Seed: 4}),
+		"geometric":   RandomGeometric(30, 0.2, GenConfig{Seed: 4}),
+		"largeW":      RandomConnected(20, 40, GenConfig{Seed: 4, Weights: WeightsRandomLarge}),
+	}
+	for name, g := range gens {
+		if !IsConnected(g) {
+			t.Errorf("%s: not connected", name)
+		}
+		if name != "unit" && !g.HasDistinctWeights() {
+			t.Errorf("%s: weights not distinct", name)
+		}
+	}
+}
+
+func TestRandomConnectedEdgeCount(t *testing.T) {
+	g := RandomConnected(20, 50, GenConfig{Seed: 5})
+	if g.M() != 50 {
+		t.Errorf("m = %d, want 50", g.M())
+	}
+	// Request below the tree minimum clamps to n-1.
+	g2 := RandomConnected(20, 3, GenConfig{Seed: 5})
+	if g2.M() != 19 {
+		t.Errorf("m = %d, want 19", g2.M())
+	}
+	// Request above complete clamps.
+	g3 := RandomConnected(5, 100, GenConfig{Seed: 5})
+	if g3.M() != 10 {
+		t.Errorf("m = %d, want 10", g3.M())
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RandomConnected(30, 90, GenConfig{Seed: 7})
+	b := RandomConnected(30, 90, GenConfig{Seed: 7})
+	if !SameEdgeSet(a.Edges(), b.Edges()) {
+		t.Error("same seed produced different graphs")
+	}
+	c := RandomConnected(30, 90, GenConfig{Seed: 8})
+	if SameEdgeSet(a.Edges(), c.Edges()) {
+		t.Error("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	p := Path(10, GenConfig{Seed: 9})
+	if d := Diameter(p); d != 9 {
+		t.Errorf("path diameter = %d, want 9", d)
+	}
+	if d := DiameterDoubleSweep(p); d != 9 {
+		t.Errorf("double sweep = %d, want 9", d)
+	}
+	c := Cycle(10, GenConfig{Seed: 9})
+	if d := Diameter(c); d != 5 {
+		t.Errorf("cycle diameter = %d, want 5", d)
+	}
+	s := Star(10, GenConfig{Seed: 9})
+	if d := Diameter(s); d != 2 {
+		t.Errorf("star diameter = %d, want 2", d)
+	}
+	if e := Eccentricity(s, 0); e != 1 {
+		t.Errorf("hub eccentricity = %d, want 1", e)
+	}
+	if got := HopDistance(p, 0, 7); got != 7 {
+		t.Errorf("hop distance = %d, want 7", got)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if d := MaxDegree(Star(8, GenConfig{Seed: 1})); d != 7 {
+		t.Errorf("star max degree = %d, want 7", d)
+	}
+}
+
+func TestKruskalMatchesPrim(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := RandomConnected(40, 100, GenConfig{Seed: seed})
+		k, p := Kruskal(g), Prim(g, int(seed)%g.N())
+		if !SameEdgeSet(k, p) {
+			t.Fatalf("seed %d: kruskal and prim disagree", seed)
+		}
+		if !IsSpanningTree(g, k) {
+			t.Fatalf("seed %d: kruskal output is not a spanning tree", seed)
+		}
+	}
+}
+
+func TestKruskalUnitWeightsUnique(t *testing.T) {
+	// With the tie-broken key the MST is unique even with equal
+	// weights, so Kruskal == Prim still.
+	g := Complete(10, GenConfig{Seed: 10, Weights: WeightsUnit})
+	if !SameEdgeSet(Kruskal(g), Prim(g, 3)) {
+		t.Error("tie-broken MST not unique")
+	}
+}
+
+func TestMSTCutProperty(t *testing.T) {
+	// Property: for random graphs, the global minimum-weight edge is
+	// always in the MST.
+	f := func(seed int64) bool {
+		g := RandomConnected(15, 40, GenConfig{Seed: seed})
+		edges := g.Edges()
+		SortEdgesByKey(edges)
+		mst := EdgeSet(Kruskal(g))
+		e := edges[0]
+		_, ok := mst[[2]int{min(e.U, e.V), max(e.U, e.V)}]
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSpanningTreeRejects(t *testing.T) {
+	g := Cycle(5, GenConfig{Seed: 11})
+	edges := g.Edges()
+	if IsSpanningTree(g, edges) {
+		t.Error("cycle accepted as spanning tree")
+	}
+	if IsSpanningTree(g, edges[:3]) {
+		t.Error("3 edges accepted for n=5")
+	}
+	// 4 edges forming a cycle + isolated node.
+	bad := []Edge{edges[0], edges[1], edges[2], {U: edges[0].U, V: edges[2].V, Weight: 99}}
+	if IsSpanningTree(g, bad) {
+		t.Error("cyclic subset accepted")
+	}
+}
+
+func TestUnionFindProperties(t *testing.T) {
+	uf := NewUnionFind(10)
+	if uf.Count() != 10 {
+		t.Fatalf("count = %d, want 10", uf.Count())
+	}
+	if !uf.Union(0, 1) || uf.Union(0, 1) {
+		t.Error("union results wrong")
+	}
+	if !uf.Connected(0, 1) || uf.Connected(0, 2) {
+		t.Error("connectivity wrong")
+	}
+	if uf.Count() != 9 {
+		t.Errorf("count = %d, want 9", uf.Count())
+	}
+}
+
+func TestUnionFindQuick(t *testing.T) {
+	// Property: after any sequence of unions, Connected agrees with a
+	// naive component labeling.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const n = 30
+		uf := NewUnionFind(n)
+		naive := make([]int, n)
+		for i := range naive {
+			naive[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range naive {
+				if naive[i] == from {
+					naive[i] = to
+				}
+			}
+		}
+		for k := 0; k < 40; k++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				continue
+			}
+			uf.Union(a, b)
+			relabel(naive[a], naive[b])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if uf.Connected(i, j) != (naive[i] == naive[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameEdgeSet(t *testing.T) {
+	a := []Edge{{U: 0, V: 1, Weight: 3}, {U: 2, V: 1, Weight: 4}}
+	b := []Edge{{U: 1, V: 2, Weight: 4}, {U: 1, V: 0, Weight: 3}}
+	if !SameEdgeSet(a, b) {
+		t.Error("equal sets reported different")
+	}
+	c := []Edge{{U: 0, V: 1, Weight: 3}}
+	if SameEdgeSet(a, c) {
+		t.Error("different sizes reported equal")
+	}
+	d := []Edge{{U: 0, V: 1, Weight: 9}, {U: 2, V: 1, Weight: 4}}
+	if SameEdgeSet(a, d) {
+		t.Error("different weights reported equal")
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	if w := TotalWeight([]Edge{{Weight: 3}, {Weight: 4}}); w != 7 {
+		t.Errorf("total = %d, want 7", w)
+	}
+}
+
+func TestRandomIDs(t *testing.T) {
+	g := Path(10, GenConfig{Seed: 12})
+	RandomIDs(g, 1000, 5)
+	seen := map[int64]bool{}
+	for v := 0; v < g.N(); v++ {
+		id := g.ID(v)
+		if id < 1 || id > 1000 {
+			t.Errorf("id %d out of range", id)
+		}
+		if seen[id] {
+			t.Errorf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRandomGeometricAlwaysConnected(t *testing.T) {
+	// Even with a radius too small to connect naturally, bridging must
+	// yield a connected graph.
+	g := RandomGeometric(40, 0.05, GenConfig{Seed: 13})
+	if !IsConnected(g) {
+		t.Error("geometric graph not connected after bridging")
+	}
+}

@@ -1,0 +1,202 @@
+package graph
+
+import "fmt"
+
+// GRCEdgeKind classifies the edges of the lower-bound graph G_rc
+// (Figure 1 of the paper); the Theorem 4 reductions mark edges by kind.
+type GRCEdgeKind int
+
+const (
+	// GRCRow is an edge along one of the r parallel paths.
+	GRCRow GRCEdgeKind = iota
+	// GRCAlice connects Alice (first node of p_1) to the first node of
+	// a row p_ℓ, ℓ ≥ 2.
+	GRCAlice
+	// GRCBob connects Bob (last node of p_1) to the last node of a row
+	// p_ℓ, ℓ ≥ 2.
+	GRCBob
+	// GRCSpoke connects an X node at position j in p_1 to the j-th node
+	// of a row p_ℓ, ℓ ≥ 2.
+	GRCSpoke
+	// GRCTree is an edge of the balanced binary tree over X.
+	GRCTree
+)
+
+func (k GRCEdgeKind) String() string {
+	switch k {
+	case GRCRow:
+		return "row"
+	case GRCAlice:
+		return "alice"
+	case GRCBob:
+		return "bob"
+	case GRCSpoke:
+		return "spoke"
+	case GRCTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("GRCEdgeKind(%d)", int(k))
+	}
+}
+
+// GRCEdgeInfo records the classification of one G_rc edge.
+type GRCEdgeInfo struct {
+	Kind GRCEdgeKind
+	// Row is the 0-based row index for Alice/Bob/Spoke edges (the row
+	// ℓ ≥ 1 the edge attaches to) and for Row edges the row they lie
+	// in; it is -1 for Tree edges.
+	Row int
+}
+
+// GRC is the Figure 1 lower-bound graph: r parallel paths of c nodes,
+// Alice/Bob attachment edges, Θ(log n) spoke columns X, and a balanced
+// binary tree over X. Rows are 0-based here: row 0 is the paper's p_1.
+type GRC struct {
+	G *Graph
+	// R and C are the number of rows and columns.
+	R, C int
+	// Alice and Bob are the node indices of the paper's endpoints
+	// (first and last node of row 0).
+	Alice, Bob int
+	// X lists the column positions of the spoke columns, in increasing
+	// order; X[0] == 0 and X[len-1] == C-1.
+	X []int
+	// InternalNodes lists the indices of the binary-tree internal
+	// nodes (the paper's set I).
+	InternalNodes []int
+	// EdgeInfo[i] classifies Graph edge i.
+	EdgeInfo []GRCEdgeInfo
+}
+
+// Node returns the index of the node at (row, pos), 0-based.
+func (g *GRC) Node(row, pos int) int {
+	if row < 0 || row >= g.R || pos < 0 || pos >= g.C {
+		panic(fmt.Sprintf("graph: grc node (%d,%d) out of range %dx%d", row, pos, g.R, g.C))
+	}
+	return row*g.C + pos
+}
+
+// XSizeFor returns the spoke-column count used for a c-column instance:
+// the largest power of two that is ≤ c and within a constant factor of
+// log₂(r·c), with a minimum of 2 (Alice and Bob columns). The paper
+// only requires |X| ∈ Θ(log n) and a power of two.
+func XSizeFor(r, c int) int {
+	n := r * c
+	target := 1
+	for 1<<target < n {
+		target++
+	}
+	// target ≈ log2(n); round up to a power of two.
+	size := 2
+	for size < target {
+		size *= 2
+	}
+	if size > c {
+		size = 1
+		for size*2 <= c {
+			size *= 2
+		}
+	}
+	if size < 2 {
+		size = 2
+	}
+	return size
+}
+
+// NewGRC constructs G_rc with r ≥ 2 rows and c ≥ 2 columns. Edge
+// weights are assigned per cfg (the reductions overwrite them).
+func NewGRC(r, c int, cfg GenConfig) (*GRC, error) {
+	if r < 2 || c < 2 {
+		return nil, fmt.Errorf("graph: grc needs r,c >= 2, got r=%d c=%d", r, c)
+	}
+	xSize := XSizeFor(r, c)
+	if xSize > c {
+		return nil, fmt.Errorf("graph: grc with c=%d cannot host %d spoke columns", c, xSize)
+	}
+
+	// Spoke column positions: equally spaced, first and last included.
+	xs := make([]int, xSize)
+	for i := range xs {
+		xs[i] = i * (c - 1) / (xSize - 1)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("graph: grc spoke columns collide (c=%d too small for |X|=%d)", c, xSize)
+		}
+	}
+
+	nRows := r * c
+	nInternal := xSize - 1 // full binary tree over xSize leaves
+	n := nRows + nInternal
+
+	var edges []Edge
+	var info []GRCEdgeInfo
+	add := func(u, v int, kind GRCEdgeKind, row int) {
+		edges = append(edges, Edge{U: u, V: v})
+		info = append(info, GRCEdgeInfo{Kind: kind, Row: row})
+	}
+	node := func(row, pos int) int { return row*c + pos }
+
+	// Row paths.
+	for row := 0; row < r; row++ {
+		for j := 0; j+1 < c; j++ {
+			add(node(row, j), node(row, j+1), GRCRow, row)
+		}
+	}
+	alice, bob := node(0, 0), node(0, c-1)
+	// Alice/Bob attachments to rows 1..r-1 (paper's p_2..p_r).
+	for row := 1; row < r; row++ {
+		add(alice, node(row, 0), GRCAlice, row)
+		add(bob, node(row, c-1), GRCBob, row)
+	}
+	// Spokes: interior X columns connect row 0 to every other row.
+	// Columns 0 and c-1 are already covered by the Alice/Bob edges.
+	for _, j := range xs {
+		if j == 0 || j == c-1 {
+			continue
+		}
+		for row := 1; row < r; row++ {
+			add(node(0, j), node(row, j), GRCSpoke, row)
+		}
+	}
+	// Balanced binary tree over the X leaves. Leaves are the row-0
+	// nodes at the spoke columns; internal nodes are fresh indices.
+	internal := make([]int, 0, nInternal)
+	nextInternal := nRows
+	leaves := make([]int, xSize)
+	for i, j := range xs {
+		leaves[i] = node(0, j)
+	}
+	var build func(lo, hi int) int // returns the root node of leaves[lo:hi]
+	build = func(lo, hi int) int {
+		if hi-lo == 1 {
+			return leaves[lo]
+		}
+		root := nextInternal
+		nextInternal++
+		internal = append(internal, root)
+		mid := (lo + hi) / 2
+		l := build(lo, mid)
+		rr := build(mid, hi)
+		add(root, l, GRCTree, -1)
+		add(root, rr, GRCTree, -1)
+		return root
+	}
+	build(0, xSize)
+
+	assignWeights(edges, cfg)
+	g, err := New(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &GRC{
+		G:             g,
+		R:             r,
+		C:             c,
+		Alice:         alice,
+		Bob:           bob,
+		X:             xs,
+		InternalNodes: internal,
+		EdgeInfo:      info,
+	}, nil
+}

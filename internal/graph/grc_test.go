@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGRCStructure(t *testing.T) {
+	grc, err := NewGRC(8, 64, GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	g := grc.G
+	if !IsConnected(g) {
+		t.Fatal("G_rc not connected")
+	}
+	if !g.HasDistinctWeights() {
+		t.Fatal("weights not distinct")
+	}
+	// n = r*c + |I| with |I| = |X|-1.
+	wantN := 8*64 + len(grc.X) - 1
+	if g.N() != wantN {
+		t.Errorf("n = %d, want %d", g.N(), wantN)
+	}
+	// X is a power of two, includes both end columns.
+	if grc.X[0] != 0 || grc.X[len(grc.X)-1] != 63 {
+		t.Errorf("X = %v, want first 0 and last 63", grc.X)
+	}
+	if x := len(grc.X); x&(x-1) != 0 {
+		t.Errorf("|X| = %d, not a power of two", x)
+	}
+	// Alice and Bob are the corners of row 0.
+	if grc.Alice != grc.Node(0, 0) || grc.Bob != grc.Node(0, 63) {
+		t.Errorf("alice/bob = %d/%d", grc.Alice, grc.Bob)
+	}
+	// Alice connects to the first node of every other row.
+	aliceNbrs := map[int]bool{}
+	for _, p := range g.Ports(grc.Alice) {
+		aliceNbrs[p.To] = true
+	}
+	for row := 1; row < grc.R; row++ {
+		if !aliceNbrs[grc.Node(row, 0)] {
+			t.Errorf("alice not connected to row %d", row)
+		}
+	}
+	// Edge classification is total and indexes align.
+	if len(grc.EdgeInfo) != g.M() {
+		t.Fatalf("edge info length %d != m %d", len(grc.EdgeInfo), g.M())
+	}
+	counts := map[GRCEdgeKind]int{}
+	for _, info := range grc.EdgeInfo {
+		counts[info.Kind]++
+	}
+	if counts[GRCRow] != grc.R*(grc.C-1) {
+		t.Errorf("row edges = %d, want %d", counts[GRCRow], grc.R*(grc.C-1))
+	}
+	if counts[GRCAlice] != grc.R-1 || counts[GRCBob] != grc.R-1 {
+		t.Errorf("alice/bob edges = %d/%d, want %d", counts[GRCAlice], counts[GRCBob], grc.R-1)
+	}
+	if counts[GRCTree] != 2*(len(grc.X)-1) {
+		t.Errorf("tree edges = %d, want %d", counts[GRCTree], 2*(len(grc.X)-1))
+	}
+	wantSpokes := (len(grc.X) - 2) * (grc.R - 1)
+	if counts[GRCSpoke] != wantSpokes {
+		t.Errorf("spoke edges = %d, want %d", counts[GRCSpoke], wantSpokes)
+	}
+}
+
+func TestGRCDiameterObservation1(t *testing.T) {
+	// Observation 1: diameter Θ(c / log n). Check the upper-bound
+	// shape: D <= spacing + O(log n) tree hops + spacing, i.e., well
+	// below c for wide instances, and growing linearly in c.
+	d1 := grcDiameter(t, 4, 64)
+	d2 := grcDiameter(t, 4, 256)
+	n := float64(4 * 256)
+	if float64(d2) > 3*256/math.Log2(n)+6*math.Log2(n) {
+		t.Errorf("diameter %d too large for c=256 (want Θ(c/log n))", d2)
+	}
+	if d2 <= d1 {
+		t.Errorf("diameter did not grow with c: %d -> %d", d1, d2)
+	}
+	// And it must be much smaller than c (the tree shortcut works).
+	if d2 >= 256 {
+		t.Errorf("diameter %d >= c; binary tree shortcuts missing", d2)
+	}
+}
+
+func grcDiameter(t *testing.T, r, c int) int {
+	t.Helper()
+	grc, err := NewGRC(r, c, GenConfig{Seed: 2})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	return Diameter(grc.G)
+}
+
+func TestGRCXSizeFor(t *testing.T) {
+	for _, tc := range []struct{ r, c int }{{2, 8}, {4, 64}, {8, 512}, {16, 1024}} {
+		x := XSizeFor(tc.r, tc.c)
+		if x < 2 || x > tc.c {
+			t.Errorf("XSizeFor(%d,%d) = %d out of range", tc.r, tc.c, x)
+		}
+		if x&(x-1) != 0 {
+			t.Errorf("XSizeFor(%d,%d) = %d not a power of two", tc.r, tc.c, x)
+		}
+	}
+}
+
+func TestGRCRejectsTiny(t *testing.T) {
+	if _, err := NewGRC(1, 10, GenConfig{}); err == nil {
+		t.Error("want error for r=1")
+	}
+	if _, err := NewGRC(10, 1, GenConfig{}); err == nil {
+		t.Error("want error for c=1")
+	}
+}
+
+func TestGRCEdgeKindString(t *testing.T) {
+	for k, want := range map[GRCEdgeKind]string{
+		GRCRow: "row", GRCAlice: "alice", GRCBob: "bob", GRCSpoke: "spoke", GRCTree: "tree",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package ldt
+
+import (
+	"fmt"
+
+	"sleepmst/internal/graph"
+)
+
+// StatesFromParents builds FLDT states from a parent assignment:
+// parent[v] is the node index of v's parent, or -1 if v is a fragment
+// root. Each (v, parent[v]) pair must be a graph edge; levels,
+// children and fragment IDs are derived. Useful for tests, examples
+// and constructing initial configurations.
+func StatesFromParents(g *graph.Graph, parent []int) ([]*State, error) {
+	if len(parent) != g.N() {
+		return nil, fmt.Errorf("ldt: %d parents for %d nodes", len(parent), g.N())
+	}
+	states := make([]*State, g.N())
+	for v := range states {
+		states[v] = &State{ParentPort: -1}
+	}
+	portTo := func(v, w int) int {
+		for p, pt := range g.Ports(v) {
+			if pt.To == w {
+				return p
+			}
+		}
+		return -1
+	}
+	for v, p := range parent {
+		if p < 0 {
+			continue
+		}
+		pp := portTo(v, p)
+		if pp < 0 {
+			return nil, fmt.Errorf("ldt: no edge between node %d and its parent %d", v, p)
+		}
+		states[v].ParentPort = pp
+		states[p].AddChild(portTo(p, v))
+	}
+	// Levels and fragment IDs by walking to roots (memoized via level
+	// computed flags).
+	var resolve func(v int, depth int) error
+	level := make([]int, g.N())
+	frag := make([]int64, g.N())
+	done := make([]bool, g.N())
+	resolve = func(v, depth int) error {
+		if depth > g.N() {
+			return fmt.Errorf("ldt: cycle in parent assignment at node %d", v)
+		}
+		if done[v] {
+			return nil
+		}
+		if parent[v] < 0 {
+			level[v], frag[v], done[v] = 0, g.ID(v), true
+			return nil
+		}
+		if err := resolve(parent[v], depth+1); err != nil {
+			return err
+		}
+		level[v], frag[v], done[v] = level[parent[v]]+1, frag[parent[v]], true
+		return nil
+	}
+	for v := range parent {
+		if err := resolve(v, 0); err != nil {
+			return nil, err
+		}
+	}
+	for v := range states {
+		states[v].Level = level[v]
+		states[v].FragID = frag[v]
+	}
+	return states, nil
+}
+
+// SingletonStates returns the initial configuration in which every
+// node is its own fragment.
+func SingletonStates(g *graph.Graph) []*State {
+	states := make([]*State, g.N())
+	for v := range states {
+		states[v] = NewRootState(g.ID(v))
+	}
+	return states
+}

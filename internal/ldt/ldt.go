@@ -1,0 +1,280 @@
+// Package ldt implements the paper's Labeled Distance Tree toolbox
+// (§2.1 and Appendix B): the transmission schedule, fragment
+// broadcast, convergecast, adjacent-fragment transmission, and the
+// Merging-Fragments procedure.
+//
+// A Labeled Distance Tree (LDT) is a rooted tree fragment in which
+// every node knows the fragment ID (the root's ID), its parent and
+// child ports, and its hop distance from the root. Given that
+// knowledge, each procedure below costs O(1) awake rounds per node and
+// one or more "blocks" of 2n+1 simulated rounds, where n is the
+// network size. All fragments of the network run the same block
+// layout simultaneously; waves travel along tree ports only, so
+// fragments never interfere.
+package ldt
+
+import (
+	"fmt"
+	"sort"
+
+	"sleepmst/internal/graph"
+	"sleepmst/internal/sim"
+)
+
+// BlockLen returns the length in rounds of one transmission-schedule
+// block for network size n: the paper's 2n+1.
+func BlockLen(n int) int64 { return 2*int64(n) + 1 }
+
+// Schedule holds the absolute rounds of the five named rounds of the
+// paper's Transmission-Schedule for one node in one block. A value of
+// -1 means the node has no such round (the root neither down-receives
+// nor up-sends).
+type Schedule struct {
+	DownReceive int64
+	DownSend    int64
+	Side        int64
+	UpReceive   int64
+	UpSend      int64
+}
+
+// ScheduleFor computes the schedule for a node at the given distance
+// from the root (level), in a block whose local round 1 is the
+// absolute round start, on a network of n nodes.
+//
+// With start = 1 this reproduces the paper's numbering exactly:
+// non-root nodes at distance i get rounds i, i+1, n+1, 2n-i+1, 2n-i+2
+// (Down-Receive, Down-Send, Side-Send-Receive, Up-Receive, Up-Send)
+// and the root gets 1, n+1, 2n+1 (Down-Send, Side, Up-Receive).
+func ScheduleFor(start int64, level int, n int) Schedule {
+	if level < 0 || level >= n {
+		panic(fmt.Sprintf("ldt: level %d out of range for n=%d", level, n))
+	}
+	i, nn := int64(level), int64(n)
+	if level == 0 {
+		return Schedule{
+			DownReceive: -1,
+			DownSend:    start,
+			Side:        start + nn,
+			UpReceive:   start + 2*nn,
+			UpSend:      -1,
+		}
+	}
+	return Schedule{
+		DownReceive: start + i - 1,
+		DownSend:    start + i,
+		Side:        start + nn,
+		UpReceive:   start + 2*nn - i,
+		UpSend:      start + 2*nn - i + 1,
+	}
+}
+
+// State is the per-node LDT bookkeeping: which fragment the node
+// belongs to and where it sits in the fragment tree.
+type State struct {
+	// FragID is the fragment identifier — the ID of the fragment root.
+	FragID int64
+	// Level is the hop distance from the fragment root.
+	Level int
+	// ParentPort is the port leading to the parent, -1 at the root.
+	ParentPort int
+	// Children lists the ports leading to children, sorted.
+	Children []int
+}
+
+// NewRootState returns the state of a singleton fragment rooted at a
+// node with the given ID (the initial state of every node).
+func NewRootState(id int64) *State {
+	return &State{FragID: id, Level: 0, ParentPort: -1}
+}
+
+// IsRoot reports whether the node is its fragment's root.
+func (st *State) IsRoot() bool { return st.ParentPort == -1 }
+
+// HasChildren reports whether the node has any children.
+func (st *State) HasChildren() bool { return len(st.Children) > 0 }
+
+// AddChild inserts a child port, keeping Children sorted.
+func (st *State) AddChild(port int) {
+	i := sort.SearchInts(st.Children, port)
+	if i < len(st.Children) && st.Children[i] == port {
+		return
+	}
+	st.Children = append(st.Children, 0)
+	copy(st.Children[i+1:], st.Children[i:])
+	st.Children[i] = port
+}
+
+// TreePorts returns all tree ports (parent + children).
+func (st *State) TreePorts() []int {
+	out := make([]int, 0, len(st.Children)+1)
+	if st.ParentPort >= 0 {
+		out = append(out, st.ParentPort)
+	}
+	out = append(out, st.Children...)
+	return out
+}
+
+// Clone returns a deep copy of the state.
+func (st *State) Clone() *State {
+	c := *st
+	c.Children = append([]int(nil), st.Children...)
+	return &c
+}
+
+// payload wrappers ------------------------------------------------------
+
+// wireMsg wraps a user payload for the down/up waves; it charges a
+// 2-bit tag on top of the payload size.
+type wireMsg struct {
+	payload interface{}
+}
+
+func (m wireMsg) Bits() int { return sim.MessageBits(m.payload) + 2 }
+
+// Down runs one top-down wave over the fragment tree within the block
+// starting at round start. The root's incoming value is rootVal; every
+// other node receives the value forwarded by its parent (nil if the
+// parent forwarded nothing to it). split maps the received value to
+// per-child-port messages; a nil return forwards nothing. Down returns
+// the node's received value.
+//
+// Cost: at most 2 awake rounds (Down-Receive and Down-Send); leaves and
+// nodes that forward nothing skip the Down-Send round.
+func Down(nd *sim.Node, st *State, start int64, rootVal interface{},
+	split func(received interface{}) map[int]interface{}) interface{} {
+	sched := ScheduleFor(start, st.Level, nd.N())
+	var received interface{}
+	if st.IsRoot() {
+		received = rootVal
+	} else {
+		nd.SleepUntil(sched.DownReceive)
+		in := nd.Exchange(nil)
+		if raw, ok := in[st.ParentPort]; ok {
+			received = raw.(wireMsg).payload
+		}
+	}
+	outs := split(received)
+	if len(outs) > 0 {
+		out := make(sim.Outbox, len(outs))
+		for port, msg := range outs {
+			out[port] = wireMsg{payload: msg}
+		}
+		nd.SleepUntil(sched.DownSend)
+		nd.Exchange(out)
+	}
+	return received
+}
+
+// Broadcast implements the paper's Fragment-Broadcast: the root's msg
+// reaches every node of the fragment; every node returns the message
+// (the root returns its own). Cost: one block, <= 2 awake rounds.
+func Broadcast(nd *sim.Node, st *State, start int64, msg interface{}) interface{} {
+	return Down(nd, st, start, msg, func(received interface{}) map[int]interface{} {
+		if received == nil || len(st.Children) == 0 {
+			return nil
+		}
+		out := make(map[int]interface{}, len(st.Children))
+		for _, c := range st.Children {
+			out[c] = received
+		}
+		return out
+	})
+}
+
+// Up runs one bottom-up wave (convergecast) within the block starting
+// at round start. Each node combines its own value with the values
+// received from its children and forwards the result to its parent;
+// the root's combined value is the fragment-wide result. Up returns
+// the node's combined value.
+//
+// Cost: at most 2 awake rounds (Up-Receive for non-leaves, Up-Send for
+// non-roots).
+func Up(nd *sim.Node, st *State, start int64, own interface{},
+	combine func(own interface{}, fromChildren map[int]interface{}) interface{}) interface{} {
+	sched := ScheduleFor(start, st.Level, nd.N())
+	fromChildren := make(map[int]interface{})
+	if len(st.Children) > 0 {
+		nd.SleepUntil(sched.UpReceive)
+		in := nd.Exchange(nil)
+		for _, c := range st.Children {
+			if raw, ok := in[c]; ok {
+				fromChildren[c] = raw.(wireMsg).payload
+			}
+		}
+	}
+	combined := combine(own, fromChildren)
+	if !st.IsRoot() {
+		nd.SleepUntil(sched.UpSend)
+		nd.Exchange(sim.Outbox{st.ParentPort: wireMsg{payload: combined}})
+	}
+	return combined
+}
+
+// FieldBits returns the number of bits needed to encode x (sign
+// included), used to charge realistic message sizes.
+func FieldBits(x int64) int {
+	if x < 0 {
+		x = -x
+	}
+	n := 1 // sign / presence bit
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// MinItem is a (key, payload) pair for UpcastMin.
+type MinItem struct {
+	Key     graph.WeightKey
+	Payload interface{}
+}
+
+// Bits charges the key fields plus the payload.
+func (m MinItem) Bits() int {
+	return FieldBits(m.Key.W) + FieldBits(m.Key.A) + FieldBits(m.Key.B) + sim.MessageBits(m.Payload)
+}
+
+// UpcastMin implements the paper's Upcast-Min: the minimum-key item
+// held by any node of the fragment reaches the root. Nodes with no
+// item pass nil. Every node returns the minimum over its subtree; the
+// root's return value is the fragment-wide minimum (nil if no node
+// held an item).
+func UpcastMin(nd *sim.Node, st *State, start int64, mine *MinItem) *MinItem {
+	res := Up(nd, st, start, mine, func(own interface{}, fromChildren map[int]interface{}) interface{} {
+		best := own.(*MinItem)
+		for _, v := range fromChildren {
+			if v == nil {
+				continue
+			}
+			it, ok := v.(MinItem)
+			if !ok {
+				continue
+			}
+			if best == nil || it.Key.Less(best.Key) {
+				cp := it
+				best = &cp
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		return *best // send by value over the wire
+	})
+	if res == nil {
+		return nil
+	}
+	it := res.(MinItem)
+	return &it
+}
+
+// TransmitAdjacent implements the paper's Transmit-Adjacent: every
+// node is awake in the block's Side-Send-Receive round and exchanges
+// the given per-port messages with all its neighbors (in this and
+// other fragments). It returns the inbox. Cost: one block, exactly 1
+// awake round.
+func TransmitAdjacent(nd *sim.Node, start int64, out sim.Outbox) sim.Inbox {
+	side := start + int64(nd.N())
+	nd.SleepUntil(side)
+	return nd.Exchange(out)
+}

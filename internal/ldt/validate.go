@@ -1,0 +1,124 @@
+package ldt
+
+import (
+	"fmt"
+	"sort"
+
+	"sleepmst/internal/graph"
+)
+
+// Validate checks that states describes a valid Forest of Labeled
+// Distance Trees (FLDT) over g: every fragment is a rooted tree along
+// graph edges, levels equal hop distance from the root, the fragment
+// ID is the root's node ID, and parent/child pointers are symmetric.
+func Validate(g *graph.Graph, states []*State) error {
+	if len(states) != g.N() {
+		return fmt.Errorf("ldt: %d states for %d nodes", len(states), g.N())
+	}
+	for v, st := range states {
+		if st == nil {
+			return fmt.Errorf("ldt: node %d has nil state", v)
+		}
+		ports := g.Ports(v)
+		if st.IsRoot() {
+			if st.Level != 0 {
+				return fmt.Errorf("ldt: root %d has level %d", v, st.Level)
+			}
+			if st.FragID != g.ID(v) {
+				return fmt.Errorf("ldt: root %d has fragment ID %d, want own ID %d", v, st.FragID, g.ID(v))
+			}
+		} else {
+			if st.ParentPort < 0 || st.ParentPort >= len(ports) {
+				return fmt.Errorf("ldt: node %d parent port %d out of range", v, st.ParentPort)
+			}
+			pp := ports[st.ParentPort]
+			parent := states[pp.To]
+			if parent.Level != st.Level-1 {
+				return fmt.Errorf("ldt: node %d level %d but parent %d level %d", v, st.Level, pp.To, parent.Level)
+			}
+			if parent.FragID != st.FragID {
+				return fmt.Errorf("ldt: node %d fragment %d but parent %d fragment %d", v, st.FragID, pp.To, parent.FragID)
+			}
+			if !containsInt(parent.Children, pp.RevPort) {
+				return fmt.Errorf("ldt: node %d claims parent %d, but parent lacks child port %d", v, pp.To, pp.RevPort)
+			}
+		}
+		if !sort.IntsAreSorted(st.Children) {
+			return fmt.Errorf("ldt: node %d children %v not sorted", v, st.Children)
+		}
+		seen := map[int]bool{}
+		for _, c := range st.Children {
+			if c < 0 || c >= len(ports) {
+				return fmt.Errorf("ldt: node %d child port %d out of range", v, c)
+			}
+			if c == st.ParentPort {
+				return fmt.Errorf("ldt: node %d lists parent port %d as child", v, c)
+			}
+			if seen[c] {
+				return fmt.Errorf("ldt: node %d duplicate child port %d", v, c)
+			}
+			seen[c] = true
+			cp := ports[c]
+			child := states[cp.To]
+			if child.ParentPort != cp.RevPort {
+				return fmt.Errorf("ldt: node %d lists %d as child, but child's parent port is %d (want %d)",
+					v, cp.To, child.ParentPort, cp.RevPort)
+			}
+			if child.Level != st.Level+1 {
+				return fmt.Errorf("ldt: node %d level %d but child %d level %d", v, st.Level, cp.To, child.Level)
+			}
+			if child.FragID != st.FragID {
+				return fmt.Errorf("ldt: node %d fragment %d but child %d fragment %d", v, st.FragID, cp.To, child.FragID)
+			}
+		}
+	}
+	// Every parent walk must reach a root within n steps (no cycles).
+	for v := range states {
+		cur, steps := v, 0
+		for !states[cur].IsRoot() {
+			cur = g.Ports(cur)[states[cur].ParentPort].To
+			steps++
+			if steps > g.N() {
+				return fmt.Errorf("ldt: parent walk from node %d does not terminate", v)
+			}
+		}
+		if states[v].FragID != g.ID(cur) {
+			return fmt.Errorf("ldt: node %d fragment %d, but its root %d has ID %d", v, states[v].FragID, cur, g.ID(cur))
+		}
+	}
+	return nil
+}
+
+// Fragments groups node indices by fragment ID.
+func Fragments(states []*State) map[int64][]int {
+	out := make(map[int64][]int)
+	for v, st := range states {
+		out[st.FragID] = append(out[st.FragID], v)
+	}
+	return out
+}
+
+// FragmentCount returns the number of distinct fragments.
+func FragmentCount(states []*State) int { return len(Fragments(states)) }
+
+// TreeEdges returns the set of (parent, child) graph edges used by the
+// forest, as graph.Edge values with the real weights.
+func TreeEdges(g *graph.Graph, states []*State) []graph.Edge {
+	var out []graph.Edge
+	for v, st := range states {
+		if st.ParentPort >= 0 {
+			p := g.Ports(v)[st.ParentPort]
+			out = append(out, g.Edge(p.EdgeIdx))
+		}
+	}
+	return out
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

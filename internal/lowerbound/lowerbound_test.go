@@ -1,0 +1,200 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"sleepmst/internal/core"
+	"sleepmst/internal/graph"
+)
+
+func TestHeaviestEdgeSeparation(t *testing.T) {
+	res := HeaviestEdgeSeparation(256, 2000, 1)
+	// Exact probability that two uniform positions on a ring are at
+	// least len/4 apart is about 1/2; allow Monte-Carlo slack.
+	if res.FracSeparated < 0.40 || res.FracSeparated > 0.62 {
+		t.Errorf("separation fraction = %.3f, want ≈ 0.5", res.FracSeparated)
+	}
+	// Mean separation of two uniform points on a ring is len/4.
+	if res.MeanSeparation < 0.20*256 || res.MeanSeparation > 0.30*256 {
+		t.Errorf("mean separation = %.1f, want ≈ %d", res.MeanSeparation, 256/4)
+	}
+}
+
+func TestKnowledgeSegmentGameLemma11(t *testing.T) {
+	rows := KnowledgeSegmentGame(13*13+5, 2, 120, 7)
+	if len(rows) < 3 {
+		t.Fatalf("got %d rows, want >= 3 (a = 0, 1, 2)", len(rows))
+	}
+	if rows[0].ProbU != 1 {
+		t.Errorf("Pr[U(I,0)] = %.2f, want 1", rows[0].ProbU)
+	}
+	for _, row := range rows {
+		if row.ProbU < 0.5 {
+			t.Errorf("a=%d: Pr[U] = %.3f, Lemma 11 claims >= 1/2", row.A, row.ProbU)
+		}
+		if row.SegmentLen != pow13(row.A) {
+			t.Errorf("a=%d: segment length %d, want 13^a", row.A, row.SegmentLen)
+		}
+	}
+}
+
+func pow13(a int) int {
+	out := 1
+	for i := 0; i < a; i++ {
+		out *= 13
+	}
+	return out
+}
+
+func TestRingInstanceDistinctWeights(t *testing.T) {
+	g := RingInstance(64, 3)
+	if !g.HasDistinctWeights() {
+		t.Error("ring weights not distinct")
+	}
+	if g.N() != 64 || g.M() != 64 {
+		t.Errorf("ring shape n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestDSDEncodingConnectivity(t *testing.T) {
+	grc, err := graph.NewGRC(5, 32, graph.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("grc: %v", err)
+	}
+	cases := []struct {
+		name string
+		x, y []bool
+		want bool // disjoint <=> marked subgraph connected
+	}{
+		{"all zero", []bool{false, false, false, false}, []bool{false, false, false, false}, true},
+		{"x ones only", []bool{true, true, true, true}, []bool{false, false, false, false}, true},
+		{"intersect at 0", []bool{true, false, false, false}, []bool{true, false, false, false}, false},
+		{"intersect at 3", []bool{false, false, false, true}, []bool{true, true, false, true}, false},
+		{"complementary", []bool{true, false, true, false}, []bool{false, true, false, true}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ins, err := NewDSDInstance(grc, tc.x, tc.y)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if ins.Disjoint() != tc.want {
+				t.Fatalf("ground truth mismatch: Disjoint()=%v", ins.Disjoint())
+			}
+			if got := ins.MarkedConnected(); got != tc.want {
+				t.Errorf("marked connected = %v, want %v (CSS encoding broken)", got, tc.want)
+			}
+			// The sequential reference MST must agree too.
+			mst := graph.Kruskal(ins.MSTInstance())
+			if got := DecodeMST(mst); got != tc.want {
+				t.Errorf("kruskal decode = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDSDInstanceValidation(t *testing.T) {
+	grc, err := graph.NewGRC(4, 16, graph.GenConfig{Seed: 2})
+	if err != nil {
+		t.Fatalf("grc: %v", err)
+	}
+	if _, err := NewDSDInstance(grc, []bool{true}, []bool{false, false, false}); err == nil {
+		t.Error("want error for wrong bit-string length")
+	}
+}
+
+func TestSolveSDViaMSTEndToEnd(t *testing.T) {
+	// The full Theorem 4 pipeline: random instances, distributed MST
+	// in the sleeping model, decoded answers must match ground truth.
+	grc, err := graph.NewGRC(4, 16, graph.GenConfig{Seed: 3})
+	if err != nil {
+		t.Fatalf("grc: %v", err)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		x := RandomBits(grc.R-1, seed*2+1)
+		y := RandomBits(grc.R-1, seed*2+2)
+		ins, err := NewDSDInstance(grc, x, y)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		res, err := SolveSDViaMST(ins, core.RunRandomized, core.Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Disjoint != ins.Disjoint() {
+			t.Errorf("seed %d: decoded %v, truth %v (x=%v y=%v)", seed, res.Disjoint, ins.Disjoint(), x, y)
+		}
+	}
+}
+
+func TestTradeoffExperiment(t *testing.T) {
+	pt, err := TradeoffExperiment(4, 16, core.RunRandomized, 5)
+	if err != nil {
+		t.Fatalf("tradeoff: %v", err)
+	}
+	if pt.Awake <= 0 || pt.Rounds <= 0 || pt.Product != pt.Awake*pt.Rounds {
+		t.Errorf("bad point %+v", pt)
+	}
+	// The trade-off bound: product must be Ω(n) (here just sanity that
+	// it clears n, which the paper's bound guarantees up to polylog).
+	if pt.Product < int64(pt.N) {
+		t.Errorf("awake×rounds = %d below n = %d", pt.Product, pt.N)
+	}
+}
+
+func TestRandomBitsDeterministic(t *testing.T) {
+	a, b := RandomBits(32, 9), RandomBits(32, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+func TestDSDAllOnesIntersects(t *testing.T) {
+	grc, err := graph.NewGRC(4, 16, graph.GenConfig{Seed: 4})
+	if err != nil {
+		t.Fatalf("grc: %v", err)
+	}
+	ones := []bool{true, true, true}
+	ins, err := NewDSDInstance(grc, ones, ones)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if ins.Disjoint() || ins.MarkedConnected() {
+		t.Error("all-ones must intersect and disconnect every row")
+	}
+	// Every heavy row must force a heavy MST edge per disconnected row.
+	mst := graph.Kruskal(ins.MSTInstance())
+	heavy := 0
+	for _, e := range mst {
+		if e.Weight >= HeavyWeightBase {
+			heavy++
+		}
+	}
+	if heavy != grc.R-1 {
+		t.Errorf("heavy MST edges = %d, want %d (one per isolated row)", heavy, grc.R-1)
+	}
+}
+
+func TestKnowledgeSegmentGameStopsAtRingSize(t *testing.T) {
+	rows := KnowledgeSegmentGame(20, 5, 10, 1)
+	// 13^2 = 169 > 20, so only a = 0 and a = 1 fit.
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+}
+
+func TestTradeoffGrowsWithInstance(t *testing.T) {
+	small, err := TradeoffExperiment(4, 16, core.RunRandomized, 1)
+	if err != nil {
+		t.Fatalf("small: %v", err)
+	}
+	large, err := TradeoffExperiment(4, 64, core.RunRandomized, 1)
+	if err != nil {
+		t.Fatalf("large: %v", err)
+	}
+	if large.Product <= small.Product {
+		t.Errorf("awake x rounds did not grow with n: %d -> %d", small.Product, large.Product)
+	}
+}

@@ -1,0 +1,211 @@
+// Package lowerbound implements executable versions of the paper's
+// lower-bound arguments.
+//
+// Theorem 3 (Ω(log n) awake complexity, §3.1): the proof samples a
+// ring with random edge weights and argues (Lemma 11) that knowledge
+// spreads too slowly under any wake schedule. We provide (a) the
+// structural claim — the two heaviest edges of a random ring are far
+// apart with constant probability — and (b) a Monte-Carlo simulation
+// of the knowledge-segment game over random wake schedules.
+//
+// Theorem 4 (Ω̃(n) on awake × rounds, §3.2): the proof reduces set
+// disjointness to MST on the graph family G_rc. We implement the
+// reduction chain SD → DSD → CSS → MST executably: instances are
+// encoded as markings/weights of G_rc, our MST algorithms run on them,
+// and the answer is decoded from the MST — plus congestion metering at
+// the binary-tree nodes I, the quantity the proof charges against
+// awake time.
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sleepmst/internal/graph"
+)
+
+// SeparationResult reports the heaviest-edge separation experiment.
+type SeparationResult struct {
+	N         int
+	Trials    int
+	Threshold int // hop-distance threshold (n/4 on a ring of 4n+4)
+	// FracSeparated is the fraction of trials in which the two
+	// heaviest edges were at least Threshold apart.
+	FracSeparated float64
+	// MeanSeparation is the average hop distance between the two
+	// heaviest edges.
+	MeanSeparation float64
+}
+
+// HeaviestEdgeSeparation samples rings of ringLen nodes with uniform
+// random distinct weights and measures how far apart the two heaviest
+// edges fall. The paper's Theorem 3 uses rings of length 4n+4 and
+// needs separation >= n+1 with constant probability; with threshold =
+// ringLen/4 the empirical probability is ≈ 1/2.
+func HeaviestEdgeSeparation(ringLen, trials int, seed int64) SeparationResult {
+	if ringLen < 8 {
+		panic(fmt.Sprintf("lowerbound: ring length %d too small", ringLen))
+	}
+	r := rand.New(rand.NewSource(seed))
+	threshold := ringLen / 4
+	sep := 0
+	var meanSep float64
+	for t := 0; t < trials; t++ {
+		// Random distinct weights = a random permutation; only the
+		// positions of the two largest matter.
+		perm := r.Perm(ringLen)
+		var first, second int
+		for i, p := range perm {
+			if p == ringLen-1 {
+				first = i
+			}
+			if p == ringLen-2 {
+				second = i
+			}
+		}
+		d := first - second
+		if d < 0 {
+			d = -d
+		}
+		if ringLen-d < d {
+			d = ringLen - d
+		}
+		meanSep += float64(d)
+		if d >= threshold {
+			sep++
+		}
+	}
+	return SeparationResult{
+		N:              ringLen,
+		Trials:         trials,
+		Threshold:      threshold,
+		FracSeparated:  float64(sep) / float64(trials),
+		MeanSeparation: meanSep / float64(trials),
+	}
+}
+
+// KnowledgeGameResult reports one (a, segment length) row of the
+// Lemma 11 simulation.
+type KnowledgeGameResult struct {
+	A          int     // awake-round budget
+	SegmentLen int     // 13^a
+	ProbU      float64 // empirical Pr[U(I, a)]
+	Trials     int
+}
+
+// KnowledgeSegmentGame simulates Lemma 11: on a ring of ringLen nodes,
+// every node follows an independent random wake schedule (awake each
+// round with probability 1/2); neighbors awake in the same round
+// exchange their entire knowledge segments. For each a, the event
+// U(I, a) asks whether a fixed segment I of length 13^a contains a
+// node whose knowledge after its a-th awake round is still inside I.
+// The lemma claims Pr[U(I, a)] >= 1/2; the simulation estimates it.
+func KnowledgeSegmentGame(ringLen, maxA, trials int, seed int64) []KnowledgeGameResult {
+	segLen := 1
+	var rows []KnowledgeGameResult
+	for a := 0; a <= maxA; a++ {
+		if segLen > ringLen {
+			break
+		}
+		succ := 0
+		for t := 0; t < trials; t++ {
+			if knowledgeTrial(ringLen, segLen, a, seed+int64(a*trials+t)) {
+				succ++
+			}
+		}
+		rows = append(rows, KnowledgeGameResult{
+			A:          a,
+			SegmentLen: segLen,
+			ProbU:      float64(succ) / float64(trials),
+			Trials:     trials,
+		})
+		segLen *= 13
+	}
+	return rows
+}
+
+// knowledgeTrial runs one trial and reports whether the segment
+// I = [0, segLen) contains a node whose knowledge segment after its
+// a-th awake round is contained in I.
+func knowledgeTrial(ringLen, segLen, a int, seed int64) bool {
+	r := rand.New(rand.NewSource(seed))
+	// Knowledge segments as [left, right] offsets around each node
+	// (how far knowledge extends in each direction along the ring).
+	left := make([]int, ringLen)
+	right := make([]int, ringLen)
+	awakeCount := make([]int, ringLen)
+	// snapshot[v] = (left, right) at v's a-th awake round, -1 = not yet.
+	snapL := make([]int, ringLen)
+	snapR := make([]int, ringLen)
+	done := make([]bool, ringLen)
+	if a == 0 {
+		// Zero awake rounds: every node knows only itself; U(I,0)
+		// always holds.
+		return true
+	}
+	pending := ringLen
+	awake := make([]bool, ringLen)
+	for round := 0; pending > 0 && round < 64*a+64; round++ {
+		for v := 0; v < ringLen; v++ {
+			awake[v] = r.Intn(2) == 0
+		}
+		// Exchange full states between awake neighbor pairs. Knowledge
+		// spreads by the union of segments.
+		newL := make([]int, ringLen)
+		newR := make([]int, ringLen)
+		copy(newL, left)
+		copy(newR, right)
+		for v := 0; v < ringLen; v++ {
+			if !awake[v] {
+				continue
+			}
+			u := (v + 1) % ringLen
+			if awake[u] {
+				// v learns u's segment: u is 1 step right of v.
+				if 1+right[u] > newR[v] {
+					newR[v] = 1 + right[u]
+				}
+				if left[u]-1 > 0 && left[u]-1 > newL[v] {
+					newL[v] = left[u] - 1
+				}
+				// u learns v's segment: v is 1 step left of u.
+				if 1+left[v] > newL[u] {
+					newL[u] = 1 + left[v]
+				}
+				if right[v]-1 > 0 && right[v]-1 > newR[u] {
+					newR[u] = right[v] - 1
+				}
+			}
+		}
+		copy(left, newL)
+		copy(right, newR)
+		for v := 0; v < ringLen; v++ {
+			if awake[v] && !done[v] {
+				awakeCount[v]++
+				if awakeCount[v] == a {
+					snapL[v], snapR[v] = left[v], right[v]
+					done[v] = true
+					pending--
+				}
+			}
+		}
+	}
+	for v := 0; v < ringLen; v++ {
+		if !done[v] {
+			snapL[v], snapR[v] = left[v], right[v]
+		}
+	}
+	// U(I, a): some v in [0, segLen) with [v-snapL, v+snapR] ⊆ I.
+	for v := 0; v < segLen; v++ {
+		if v-snapL[v] >= 0 && v+snapR[v] < segLen {
+			return true
+		}
+	}
+	return false
+}
+
+// RingInstance builds the Theorem 3 weighted ring: ringLen nodes with
+// distinct random weights from a large space.
+func RingInstance(ringLen int, seed int64) *graph.Graph {
+	return graph.Cycle(ringLen, graph.GenConfig{Seed: seed, Weights: graph.WeightsRandomLarge})
+}

@@ -1,0 +1,191 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sleepmst/internal/core"
+	"sleepmst/internal/graph"
+)
+
+// DSDInstance is a distributed set-disjointness instance on G_rc:
+// Alice holds x and Bob holds y (one bit per row 1..r-1), and the
+// answer d(x, y) is 1 iff no index has x_i = y_i = 1.
+type DSDInstance struct {
+	GRC *graph.GRC
+	X   []bool // Alice's bits, one per row 1..r-1
+	Y   []bool // Bob's bits
+	// Marked[e] reports whether graph edge e is marked per the
+	// DSD → CSS encoding (Lemma 9): all row paths and tree edges are
+	// marked; Alice/Bob attachment edges are marked iff the
+	// corresponding bit is 0; spokes are never marked.
+	Marked []bool
+}
+
+// Disjoint returns the ground-truth answer d(x, y).
+func (ins *DSDInstance) Disjoint() bool {
+	for i := range ins.X {
+		if ins.X[i] && ins.Y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NewDSDInstance encodes (x, y) on the given G_rc. len(x) and len(y)
+// must equal r-1.
+func NewDSDInstance(grc *graph.GRC, x, y []bool) (*DSDInstance, error) {
+	if len(x) != grc.R-1 || len(y) != grc.R-1 {
+		return nil, fmt.Errorf("lowerbound: want %d bits, got |x|=%d |y|=%d", grc.R-1, len(x), len(y))
+	}
+	marked := make([]bool, grc.G.M())
+	for e, info := range grc.EdgeInfo {
+		switch info.Kind {
+		case graph.GRCRow, graph.GRCTree:
+			marked[e] = true
+		case graph.GRCAlice:
+			marked[e] = !x[info.Row-1]
+		case graph.GRCBob:
+			marked[e] = !y[info.Row-1]
+		case graph.GRCSpoke:
+			// never marked
+		}
+	}
+	return &DSDInstance{GRC: grc, X: x, Y: y, Marked: marked}, nil
+}
+
+// MarkedConnected answers the CSS question directly (reference
+// implementation): do the marked edges form a connected spanning
+// subgraph of G_rc?
+func (ins *DSDInstance) MarkedConnected() bool {
+	g := ins.GRC.G
+	uf := graph.NewUnionFind(g.N())
+	for e, m := range ins.Marked {
+		if m {
+			uf.Union(g.Edge(e).U, g.Edge(e).V)
+		}
+	}
+	return uf.Count() == 1
+}
+
+// HeavyWeightBase is the weight offset given to unmarked edges in the
+// CSS → MST reduction; any MST edge at or above it witnesses a
+// disconnected marked subgraph.
+const HeavyWeightBase = int64(1) << 40
+
+// MSTInstance builds the CSS → MST weighted graph (Lemma 10): marked
+// edges get small distinct weights, unmarked edges get distinct
+// weights above HeavyWeightBase. The MST then uses an unmarked edge
+// iff the marked subgraph is not a connected spanning subgraph.
+func (ins *DSDInstance) MSTInstance() *graph.Graph {
+	g := ins.GRC.G
+	edges := g.Edges()
+	light, heavy := int64(1), HeavyWeightBase
+	for e := range edges {
+		if ins.Marked[e] {
+			edges[e].Weight = light
+			light++
+		} else {
+			edges[e].Weight = heavy
+			heavy++
+		}
+	}
+	out, err := graph.New(g.N(), edges)
+	if err != nil {
+		panic(fmt.Sprintf("lowerbound: rebuilding G_rc: %v", err))
+	}
+	return out
+}
+
+// DecodeMST answers the disjointness question from an MST of the
+// MSTInstance graph: a heavy edge in the tree means some row was
+// disconnected from the marked subgraph, i.e. x and y intersect.
+func DecodeMST(mst []graph.Edge) (disjoint bool) {
+	for _, e := range mst {
+		if e.Weight >= HeavyWeightBase {
+			return false
+		}
+	}
+	return true
+}
+
+// MSTRunner runs a distributed MST algorithm; the core.Run* functions
+// satisfy it.
+type MSTRunner func(*graph.Graph, core.Options) (*core.Outcome, error)
+
+// SDViaMSTResult reports one end-to-end reduction run.
+type SDViaMSTResult struct {
+	Disjoint bool
+	Outcome  *core.Outcome
+	// TreeCongestion is the maximum received-bit count over the
+	// binary-tree internal nodes I — the congestion the Theorem 4
+	// proof lower-bounds.
+	TreeCongestion int64
+}
+
+// SolveSDViaMST executes the full reduction: encode (x, y) on G_rc,
+// run the given distributed MST algorithm in the sleeping model, and
+// decode disjointness from the resulting tree.
+func SolveSDViaMST(ins *DSDInstance, run MSTRunner, opts core.Options) (*SDViaMSTResult, error) {
+	g := ins.MSTInstance()
+	out, err := run(g, opts)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: reduction MST run: %w", err)
+	}
+	var cong int64
+	for _, v := range ins.GRC.InternalNodes {
+		if b := out.Result.BitsReceivedPerNode[v]; b > cong {
+			cong = b
+		}
+	}
+	return &SDViaMSTResult{
+		Disjoint:       DecodeMST(out.MSTEdges),
+		Outcome:        out,
+		TreeCongestion: cong,
+	}, nil
+}
+
+// RandomBits draws k random bits.
+func RandomBits(k int, seed int64) []bool {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]bool, k)
+	for i := range out {
+		out[i] = r.Intn(2) == 1
+	}
+	return out
+}
+
+// TradeoffPoint is one row of the awake × rounds trade-off experiment
+// (Theorem 4): MST runs on G_rc instances and the product of awake and
+// round complexity is compared with the Ω̃(n) bound.
+type TradeoffPoint struct {
+	R, C, N        int
+	Awake          int64
+	Rounds         int64
+	Product        int64
+	TreeCongestion int64
+}
+
+// TradeoffExperiment runs the given MST algorithm on a G_rc instance
+// with random inputs and reports the trade-off quantities.
+func TradeoffExperiment(r, c int, run MSTRunner, seed int64) (*TradeoffPoint, error) {
+	grc, err := graph.NewGRC(r, c, graph.GenConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	ins, err := NewDSDInstance(grc, RandomBits(r-1, seed+1), RandomBits(r-1, seed+2))
+	if err != nil {
+		return nil, err
+	}
+	res, err := SolveSDViaMST(ins, run, core.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &TradeoffPoint{
+		R: r, C: c, N: grc.G.N(),
+		Awake:          res.Outcome.Result.MaxAwake(),
+		Rounds:         res.Outcome.Result.Rounds,
+		Product:        res.Outcome.Result.MaxAwake() * res.Outcome.Result.Rounds,
+		TreeCongestion: res.TreeCongestion,
+	}, nil
+}

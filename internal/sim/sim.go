@@ -1,0 +1,485 @@
+// Package sim implements the synchronous sleeping-model CONGEST
+// runtime of the paper (§1.1).
+//
+// A simulation runs one goroutine per node. Node programs are ordinary
+// sequential Go code written against the Node API: Exchange
+// participates in the node's next wake round (sending and receiving
+// O(log n)-bit messages on ports), SleepUntil schedules the next wake
+// round, and returning from the program terminates the node. The
+// scheduler advances directly to the minimum next-wake round, so rounds
+// in which every node sleeps cost O(1) — the deterministic algorithm's
+// O(nN log n) round counts are metered without being paid in wall
+// clock.
+//
+// Semantics, matching the paper: rounds are numbered from 1 and all
+// nodes are initially awake; a node awake in round r sends at the start
+// of r and receives at the end of r; a message sent to a node that is
+// asleep in round r is lost; local computation between rounds is free;
+// only awake rounds count toward awake complexity.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sleepmst/internal/graph"
+)
+
+// Sizer lets a message type declare its size in bits for congestion
+// accounting. Messages that do not implement Sizer are charged
+// DefaultMessageBits.
+type Sizer interface {
+	Bits() int
+}
+
+// DefaultMessageBits is the size charged to messages that do not
+// implement Sizer.
+const DefaultMessageBits = 64
+
+// Outbox maps port number -> message to send on that port.
+type Outbox map[int]interface{}
+
+// Inbox maps port number -> message received on that port.
+type Inbox map[int]interface{}
+
+// Program is the code run by every node.
+type Program func(nd *Node) error
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Graph is the network. Required.
+	Graph *graph.Graph
+	// Seed seeds the per-node private randomness.
+	Seed int64
+	// MaxRounds aborts the run if the simulated round counter exceeds
+	// it. 0 means DefaultMaxRounds.
+	MaxRounds int64
+	// BitCap, if positive, makes the runtime fail the run when a
+	// single message exceeds BitCap bits (CONGEST enforcement).
+	BitCap int
+	// AwakeBudget, if positive, fails the run as soon as any node
+	// exceeds that many awake rounds — runtime enforcement of awake
+	// complexity claims (e.g. c·log n for the paper's algorithms).
+	AwakeBudget int64
+	// RecordAwakeRounds records, per node, the exact rounds in which
+	// the node was awake (for traces and schedule tests).
+	RecordAwakeRounds bool
+}
+
+// DefaultMaxRounds caps runaway simulations.
+const DefaultMaxRounds = int64(1) << 40
+
+// Result aggregates the metrics of a completed run.
+type Result struct {
+	// Rounds is the largest round number in which any node was awake.
+	Rounds int64
+	// BusyRounds is the number of distinct rounds with >= 1 awake node
+	// (the simulation's real cost).
+	BusyRounds int64
+	// AwakePerNode[i] is node i's awake-round count A_v.
+	AwakePerNode []int64
+	// HaltRound[i] is the last round in which node i was awake; in the
+	// traditional always-awake model this is node i's awake time.
+	HaltRound []int64
+	// MessagesSent / MessagesDelivered / MessagesLost count messages;
+	// lost messages were sent to sleeping neighbors.
+	MessagesSent, MessagesDelivered, MessagesLost int64
+	// MessagesSentPerNode[i] counts messages sent by node i (for
+	// per-node energy accounting).
+	MessagesSentPerNode []int64
+	// BitsSent is the total message payload sent.
+	BitsSent int64
+	// BitsReceivedPerNode meters congestion per node — the quantity
+	// Theorem 4 charges against awake time.
+	BitsReceivedPerNode []int64
+	// AwakeRounds[i] lists the rounds node i was awake, if
+	// Config.RecordAwakeRounds was set.
+	AwakeRounds [][]int64
+}
+
+// MaxAwake returns the worst-case awake complexity max_v A_v.
+func (r *Result) MaxAwake() int64 {
+	var m int64
+	for _, a := range r.AwakePerNode {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MeanAwake returns the node-averaged awake complexity.
+func (r *Result) MeanAwake() float64 {
+	if len(r.AwakePerNode) == 0 {
+		return 0
+	}
+	var s int64
+	for _, a := range r.AwakePerNode {
+		s += a
+	}
+	return float64(s) / float64(len(r.AwakePerNode))
+}
+
+// MaxHaltRound returns the traditional-model round complexity: the
+// last round any node was awake.
+func (r *Result) MaxHaltRound() int64 {
+	var m int64
+	for _, h := range r.HaltRound {
+		if h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+// MaxBitsReceived returns the largest per-node received-bit count.
+func (r *Result) MaxBitsReceived() int64 {
+	var m int64
+	for _, b := range r.BitsReceivedPerNode {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// ErrAborted is returned (wrapped) when the run was torn down after a
+// node failed.
+var ErrAborted = errors.New("sim: run aborted")
+
+// abortPanic is the sentinel used to unwind node goroutines on abort.
+type abortPanic struct{}
+
+type parkEvent struct {
+	idx    int
+	exited bool
+	err    error
+}
+
+// Node is the per-node handle passed to Programs. Methods must only be
+// called from that node's goroutine.
+type Node struct {
+	rt  *runtime
+	idx int
+	rng *rand.Rand
+
+	wake    int64 // round of the next Exchange
+	awake   int64
+	halted  bool
+	aborted bool
+
+	out Outbox // staged by Exchange, consumed by the scheduler
+	in  Inbox  // set by the scheduler before resuming
+
+	resume chan struct{}
+}
+
+// Index returns the node's 0-based index in the graph.
+func (nd *Node) Index() int { return nd.idx }
+
+// ID returns the node's identifier.
+func (nd *Node) ID() int64 { return nd.rt.cfg.Graph.ID(nd.idx) }
+
+// N returns the network size, known to all nodes per the model.
+func (nd *Node) N() int { return nd.rt.cfg.Graph.N() }
+
+// MaxID returns the largest identifier N; the deterministic algorithm
+// assumes nodes know it.
+func (nd *Node) MaxID() int64 { return nd.rt.maxID }
+
+// Degree returns the node's degree (number of ports).
+func (nd *Node) Degree() int { return nd.rt.cfg.Graph.Degree(nd.idx) }
+
+// Ports returns the node's port table: for each port, the edge weight
+// is local knowledge; the neighbor index is exposed for convenience but
+// algorithms faithful to the model must not use it as knowledge (they
+// learn neighbor identity through messages).
+func (nd *Node) Ports() []graph.Port { return nd.rt.cfg.Graph.Ports(nd.idx) }
+
+// PortWeight returns the weight of the edge on port p.
+func (nd *Node) PortWeight(p int) int64 { return nd.rt.cfg.Graph.Ports(nd.idx)[p].Weight }
+
+// Round returns the round the next Exchange will occupy.
+func (nd *Node) Round() int64 { return nd.wake }
+
+// AwakeCount returns the number of awake rounds consumed so far.
+func (nd *Node) AwakeCount() int64 { return nd.awake }
+
+// Rand returns the node's private source of randomness.
+func (nd *Node) Rand() *rand.Rand { return nd.rng }
+
+// SleepUntil schedules the next Exchange for round r. It panics if r
+// precedes the node's next available round (a programming error in the
+// algorithm, not a runtime condition).
+func (nd *Node) SleepUntil(r int64) {
+	if r < nd.wake {
+		panic(fmt.Sprintf("sim: node %d cannot sleep until past round %d (next available %d)", nd.idx, r, nd.wake))
+	}
+	nd.wake = r
+}
+
+// Exchange spends one awake round: the node is awake in round Round(),
+// sends out[port] on each listed port, and receives the messages sent
+// to it this round by awake neighbors. After Exchange returns the node
+// is positioned before round Round()+1. A nil out sends nothing.
+func (nd *Node) Exchange(out Outbox) Inbox {
+	if nd.aborted {
+		panic(abortPanic{})
+	}
+	for p := range out {
+		if p < 0 || p >= nd.Degree() {
+			panic(fmt.Sprintf("sim: node %d sends on invalid port %d (degree %d)", nd.idx, p, nd.Degree()))
+		}
+	}
+	nd.out = out
+	nd.rt.park <- parkEvent{idx: nd.idx}
+	<-nd.resume
+	if nd.aborted {
+		panic(abortPanic{})
+	}
+	in := nd.in
+	nd.in = nil
+	nd.out = nil
+	return in
+}
+
+// runtime is the scheduler state.
+type runtime struct {
+	cfg    Config
+	maxID  int64
+	nodes  []*Node
+	park   chan parkEvent
+	res    *Result
+	failed error
+}
+
+// Run executes prog on every node of the configured graph and returns
+// the metrics. It returns an error if any node program fails, panics,
+// violates the bit cap, or the round cap is exceeded; the returned
+// Result is valid (partial) even on error.
+func Run(cfg Config, prog Program) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("sim: config requires a graph")
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	n := cfg.Graph.N()
+	rt := &runtime{
+		cfg:   cfg,
+		maxID: cfg.Graph.MaxID(),
+		nodes: make([]*Node, n),
+		park:  make(chan parkEvent, n),
+		res: &Result{
+			AwakePerNode:        make([]int64, n),
+			HaltRound:           make([]int64, n),
+			BitsReceivedPerNode: make([]int64, n),
+			MessagesSentPerNode: make([]int64, n),
+		},
+	}
+	if cfg.RecordAwakeRounds {
+		rt.res.AwakeRounds = make([][]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		nd := &Node{
+			rt:     rt,
+			idx:    i,
+			rng:    rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*7_919 + 1)),
+			wake:   1,
+			resume: make(chan struct{}),
+		}
+		rt.nodes[i] = nd
+		go rt.runNode(nd, prog)
+	}
+	rt.loop()
+	if rt.failed != nil {
+		return rt.res, rt.failed
+	}
+	return rt.res, nil
+}
+
+// runNode wraps one node goroutine, translating panics and returns
+// into park events.
+func (rt *runtime) runNode(nd *Node, prog Program) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortPanic); ok {
+				rt.park <- parkEvent{idx: nd.idx, exited: true}
+				return
+			}
+			rt.park <- parkEvent{idx: nd.idx, exited: true, err: fmt.Errorf("sim: node %d panicked: %v", nd.idx, r)}
+			return
+		}
+	}()
+	err := prog(nd)
+	rt.park <- parkEvent{idx: nd.idx, exited: true, err: err}
+}
+
+// wakeEntry is a min-heap entry: a parked node and its wake round.
+// Every parked node has exactly one live entry (entries are pushed on
+// park and popped exactly when the node is resumed), so entries are
+// never stale.
+type wakeEntry struct {
+	round int64
+	idx   int
+}
+
+type wakeHeap []wakeEntry
+
+func (h wakeHeap) Len() int { return len(h) }
+func (h wakeHeap) Less(i, j int) bool {
+	if h[i].round != h[j].round {
+		return h[i].round < h[j].round
+	}
+	return h[i].idx < h[j].idx
+}
+func (h wakeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wakeHeap) Push(x interface{}) { *h = append(*h, x.(wakeEntry)) }
+func (h *wakeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// loop is the lock-step scheduler. Invariant at the top of each
+// iteration: every live node goroutine is parked inside Exchange.
+func (rt *runtime) loop() {
+	live := len(rt.nodes)
+	parked := make(map[int]bool, live)
+	wakes := &wakeHeap{}
+	awaitEvents := live // all goroutines start running
+	for {
+		for i := 0; i < awaitEvents; i++ {
+			ev := <-rt.park
+			if ev.exited {
+				live--
+				if ev.err != nil && rt.failed == nil {
+					rt.failed = fmt.Errorf("node %d: %w", ev.idx, ev.err)
+				}
+			} else {
+				parked[ev.idx] = true
+				heap.Push(wakes, wakeEntry{round: rt.nodes[ev.idx].wake, idx: ev.idx})
+			}
+		}
+		if rt.failed != nil {
+			rt.abort(parked)
+			// Wait for the aborted goroutines to unwind.
+			for range parked {
+				<-rt.park
+			}
+			return
+		}
+		if live == 0 {
+			return
+		}
+		// Next busy round: minimum wake among parked nodes.
+		round := (*wakes)[0].round
+		if round > rt.cfg.MaxRounds {
+			rt.failed = fmt.Errorf("sim: round %d exceeds cap %d: %w", round, rt.cfg.MaxRounds, ErrAborted)
+			rt.abort(parked)
+			for range parked {
+				<-rt.park
+			}
+			return
+		}
+		// Participants of this round, in deterministic order.
+		var p []int
+		for wakes.Len() > 0 && (*wakes)[0].round == round {
+			p = append(p, heap.Pop(wakes).(wakeEntry).idx)
+		}
+		sort.Ints(p)
+		if err := rt.deliver(round, p); err != nil {
+			rt.failed = err
+			rt.abort(parked)
+			for range parked {
+				<-rt.park
+			}
+			return
+		}
+		rt.res.BusyRounds++
+		if round > rt.res.Rounds {
+			rt.res.Rounds = round
+		}
+		for _, idx := range p {
+			nd := rt.nodes[idx]
+			nd.awake++
+			rt.res.AwakePerNode[idx]++
+			if rt.cfg.AwakeBudget > 0 && nd.awake > rt.cfg.AwakeBudget && rt.failed == nil {
+				rt.failed = fmt.Errorf("sim: node %d exceeded awake budget %d in round %d: %w",
+					idx, rt.cfg.AwakeBudget, round, ErrAborted)
+			}
+			rt.res.HaltRound[idx] = round
+			if rt.cfg.RecordAwakeRounds {
+				rt.res.AwakeRounds[idx] = append(rt.res.AwakeRounds[idx], round)
+			}
+			nd.wake = round + 1
+			delete(parked, idx)
+			nd.resume <- struct{}{}
+		}
+		awaitEvents = len(p)
+	}
+}
+
+// deliver routes the staged outboxes of the round's participants to
+// participants that are awake, metering messages and bits.
+func (rt *runtime) deliver(round int64, participants []int) error {
+	inRound := make(map[int]bool, len(participants))
+	for _, idx := range participants {
+		inRound[idx] = true
+	}
+	for _, idx := range participants {
+		nd := rt.nodes[idx]
+		nd.in = nil
+	}
+	for _, idx := range participants {
+		nd := rt.nodes[idx]
+		ports := rt.cfg.Graph.Ports(idx)
+		for p, msg := range nd.out {
+			bits := MessageBits(msg)
+			if rt.cfg.BitCap > 0 && bits > rt.cfg.BitCap {
+				return fmt.Errorf("sim: node %d sent %d-bit message on port %d in round %d, cap %d: %w",
+					idx, bits, p, round, rt.cfg.BitCap, ErrAborted)
+			}
+			rt.res.MessagesSent++
+			rt.res.MessagesSentPerNode[idx]++
+			rt.res.BitsSent += int64(bits)
+			to := ports[p].To
+			if !inRound[to] {
+				rt.res.MessagesLost++
+				continue
+			}
+			rt.res.MessagesDelivered++
+			rt.res.BitsReceivedPerNode[to] += int64(bits)
+			rcv := rt.nodes[to]
+			if rcv.in == nil {
+				rcv.in = make(Inbox, 2)
+			}
+			rcv.in[ports[p].RevPort] = msg
+		}
+	}
+	return nil
+}
+
+// abort marks all parked nodes aborted and resumes them so their
+// goroutines unwind via the abort sentinel.
+func (rt *runtime) abort(parked map[int]bool) {
+	for idx := range parked {
+		nd := rt.nodes[idx]
+		nd.aborted = true
+		nd.resume <- struct{}{}
+	}
+}
+
+// MessageBits returns the size charged to a message: its Bits() if it
+// implements Sizer, DefaultMessageBits otherwise.
+func MessageBits(msg interface{}) int {
+	if s, ok := msg.(Sizer); ok {
+		return s.Bits()
+	}
+	return DefaultMessageBits
+}

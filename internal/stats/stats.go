@@ -1,0 +1,194 @@
+// Package stats provides the small statistical toolkit used by the
+// reproduction harness: summaries, proportional-fit estimation for
+// complexity envelopes (awake ~ c·log n, rounds ~ c·n log n), and
+// plain-text table rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes a Summary of xs; it panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// FitProportional fits y ≈ c·x by least squares through the origin and
+// returns the constant c and the coefficient of determination R².
+// Used to check complexity shapes: x is the theoretical envelope
+// (log n, n log n, ...), y the measurement.
+func FitProportional(x, y []float64) (c, r2 float64) {
+	if len(x) != len(y) || len(x) == 0 {
+		panic("stats: mismatched or empty fit inputs")
+	}
+	var sxy, sxx float64
+	for i := range x {
+		sxy += x[i] * y[i]
+		sxx += x[i] * x[i]
+	}
+	if sxx == 0 {
+		return 0, 0
+	}
+	c = sxy / sxx
+	var meanY float64
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range x {
+		d := y[i] - c*x[i]
+		ssRes += d * d
+		t := y[i] - meanY
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return c, 1
+		}
+		return c, 0
+	}
+	return c, 1 - ssRes/ssTot
+}
+
+// GrowthRatio reports max(y_i/x_i) / min(y_i/x_i): 1.0 means y is
+// exactly proportional to x; values near 1 confirm the complexity
+// shape across the sweep.
+func GrowthRatio(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		panic("stats: mismatched or empty inputs")
+	}
+	minR, maxR := math.Inf(1), math.Inf(-1)
+	for i := range x {
+		if x[i] == 0 {
+			continue
+		}
+		r := y[i] / x[i]
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if minR == 0 || math.IsInf(minR, 1) {
+		return math.Inf(1)
+	}
+	return maxR / minR
+}
+
+// Table renders an aligned plain-text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Log2 is a convenience shorthand used by the harness.
+func Log2(x float64) float64 { return math.Log2(x) }
+
+// LogStar returns the iterated logarithm log*₂(x).
+func LogStar(x float64) float64 {
+	n := 0.0
+	for x > 1 {
+		x = math.Log2(x)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("std = %v", s.Std)
+	}
+	even := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Errorf("even median = %v", even.Median)
+	}
+	single := Summarize([]float64{7})
+	if single.Std != 0 || single.Median != 7 {
+		t.Errorf("single = %+v", single)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestFitProportionalExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2.5, 5, 7.5, 10}
+	c, r2 := FitProportional(x, y)
+	if math.Abs(c-2.5) > 1e-9 || r2 < 0.999 {
+		t.Errorf("c=%v r2=%v", c, r2)
+	}
+}
+
+func TestFitProportionalNoise(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3.1, 5.9, 9.2, 11.8, 15.1}
+	c, r2 := FitProportional(x, y)
+	if c < 2.8 || c > 3.2 {
+		t.Errorf("c = %v, want ≈ 3", c)
+	}
+	if r2 < 0.99 {
+		t.Errorf("r2 = %v", r2)
+	}
+}
+
+func TestFitProportionalQuick(t *testing.T) {
+	// Property: for y = c*x exactly, the fit recovers c with R² = 1.
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e6 {
+			return true
+		}
+		x := []float64{1, 2, 3, 5, 8}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = c * x[i]
+		}
+		got, r2 := FitProportional(x, y)
+		return math.Abs(got-c) < 1e-6*(1+math.Abs(c)) && r2 > 0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrowthRatio(t *testing.T) {
+	x := []float64{1, 2, 4}
+	if r := GrowthRatio(x, []float64{3, 6, 12}); math.Abs(r-1) > 1e-9 {
+		t.Errorf("proportional ratio = %v, want 1", r)
+	}
+	if r := GrowthRatio(x, []float64{1, 4, 16}); math.Abs(r-4) > 1e-9 {
+		t.Errorf("quadratic ratio = %v, want 4", r)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("n", "awake", "ratio")
+	tb.AddRow(128, 37, 5.285714)
+	tb.AddRow(4096, 61, 5.1)
+	out := tb.String()
+	if !strings.Contains(out, "n") || !strings.Contains(out, "4096") {
+		t.Errorf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	cases := map[float64]float64{1: 0, 2: 1, 4: 2, 16: 3, 65536: 4}
+	for x, want := range cases {
+		if got := LogStar(x); got != want {
+			t.Errorf("LogStar(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package trace renders awake-schedule timelines from simulator
+// results — a quick visual of *when* each node was awake across a run
+// whose round count can be millions while awake counts stay
+// logarithmic.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"sleepmst/internal/sim"
+)
+
+// Timeline renders one line per node: the run's [1, Rounds] interval
+// is split into width buckets and a bucket is marked '#' if the node
+// was awake in any of its rounds ('.' otherwise). Requires the run to
+// have been executed with Config.RecordAwakeRounds.
+func Timeline(res *sim.Result, width int) string {
+	if res.AwakeRounds == nil {
+		return "trace: awake rounds were not recorded (set RecordAwakeRounds)\n"
+	}
+	if width <= 0 {
+		width = 64
+	}
+	total := res.Rounds
+	if total == 0 {
+		return "trace: empty run\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds 1..%d, %d columns (~%d rounds each); '#' = awake\n",
+		total, width, (total+int64(width)-1)/int64(width))
+	for v, rounds := range res.AwakeRounds {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, r := range rounds {
+			idx := int((r - 1) * int64(width) / total)
+			if idx >= width {
+				idx = width - 1
+			}
+			line[idx] = '#'
+		}
+		fmt.Fprintf(&b, "node %4d |%s| awake=%d\n", v, line, res.AwakePerNode[v])
+	}
+	return b.String()
+}
+
+// Histogram renders the distribution of per-node awake counts.
+func Histogram(res *sim.Result, barWidth int) string {
+	if barWidth <= 0 {
+		barWidth = 50
+	}
+	counts := map[int64]int{}
+	var maxAwake int64
+	for _, a := range res.AwakePerNode {
+		counts[a]++
+		if a > maxAwake {
+			maxAwake = a
+		}
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	b.WriteString("awake rounds : #nodes\n")
+	for a := int64(0); a <= maxAwake; a++ {
+		c, ok := counts[a]
+		if !ok {
+			continue
+		}
+		bar := strings.Repeat("#", c*barWidth/maxCount)
+		if bar == "" && c > 0 {
+			bar = "#"
+		}
+		fmt.Fprintf(&b, "%12d : %-*s %d\n", a, barWidth, bar, c)
+	}
+	return b.String()
+}

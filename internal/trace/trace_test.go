@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sleepmst/internal/sim"
+)
+
+func sampleResult() *sim.Result {
+	return &sim.Result{
+		Rounds:       100,
+		AwakePerNode: []int64{2, 3},
+		AwakeRounds:  [][]int64{{1, 50}, {1, 99, 100}},
+	}
+}
+
+func TestTimelineMarksBuckets(t *testing.T) {
+	out := Timeline(sampleResult(), 10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "#") || !strings.Contains(lines[1], "awake=2") {
+		t.Errorf("node 0 line = %q", lines[1])
+	}
+	// Node 1 awake at rounds 1 and 99-100: first and last buckets.
+	row := lines[2]
+	bar := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	if bar[0] != '#' || bar[len(bar)-1] != '#' {
+		t.Errorf("node 1 bar = %q, want # at both ends", bar)
+	}
+}
+
+func TestTimelineWithoutRecording(t *testing.T) {
+	out := Timeline(&sim.Result{Rounds: 5, AwakePerNode: []int64{1}}, 10)
+	if !strings.Contains(out, "not recorded") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestTimelineEmptyRun(t *testing.T) {
+	out := Timeline(&sim.Result{AwakeRounds: [][]int64{}}, 10)
+	if !strings.Contains(out, "empty") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestTimelineDefaultWidth(t *testing.T) {
+	out := Timeline(sampleResult(), 0)
+	if !strings.Contains(out, "64 columns") {
+		t.Errorf("default width not applied:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	res := &sim.Result{AwakePerNode: []int64{1, 1, 1, 5}}
+	out := Histogram(res, 20)
+	if !strings.Contains(out, "1 : #################### 3") {
+		t.Errorf("histogram:\n%s", out)
+	}
+	if !strings.Contains(out, "5 : ") {
+		t.Errorf("missing count-5 row:\n%s", out)
+	}
+	// Rows for absent counts (0, 2, 3, 4) are skipped.
+	if strings.Contains(out, "\n           2 :") {
+		t.Errorf("unexpected empty row:\n%s", out)
+	}
+}

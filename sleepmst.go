@@ -1,0 +1,263 @@
+// Package sleepmst is an open-source reproduction of "Distributed MST
+// Computation in the Sleeping Model: Awake-Optimal Algorithms and
+// Lower Bounds" (Augustine, Moses Jr., Pandurangan; PODC 2022).
+//
+// It provides awake-optimal distributed minimum-spanning-tree
+// algorithms in the sleeping model — a synchronous CONGEST network in
+// which nodes may sleep through rounds and only awake rounds are
+// charged — together with the full substrate needed to run them: a
+// deterministic sleeping-model simulator, the Labeled Distance Tree
+// toolbox, graph generators (including the Theorem 4 lower-bound
+// family G_rc), reference MSTs, and executable versions of the paper's
+// lower-bound experiments.
+//
+// Quickstart:
+//
+//	g := sleepmst.RandomConnected(512, 1536, 42)
+//	rep, err := sleepmst.Run(sleepmst.Randomized, g, sleepmst.Options{Seed: 1})
+//	if err != nil { ... }
+//	fmt.Println("MST weight:", rep.MSTWeight())
+//	fmt.Println("awake complexity:", rep.AwakeComplexity()) // O(log n)
+//	fmt.Println("round complexity:", rep.RoundComplexity()) // O(n log n)
+//
+// The package is a thin facade over the implementation packages under
+// internal/; everything a downstream user needs is re-exported here.
+package sleepmst
+
+import (
+	"fmt"
+
+	"sleepmst/internal/core"
+	"sleepmst/internal/graph"
+	"sleepmst/internal/ldt"
+	"sleepmst/internal/lowerbound"
+	"sleepmst/internal/sim"
+)
+
+// Graph is a weighted undirected network with CONGEST port numbering.
+type Graph = graph.Graph
+
+// Edge is an undirected weighted edge.
+type Edge = graph.Edge
+
+// GRC is the Figure 1 lower-bound graph family.
+type GRC = graph.GRC
+
+// Options configures an algorithm run.
+type Options = core.Options
+
+// Outcome is the detailed result of a run (MST edges, metrics, phases).
+type Outcome = core.Outcome
+
+// Metrics is the simulator's measurement record.
+type Metrics = sim.Result
+
+// Algorithm selects one of the paper's algorithms.
+type Algorithm int
+
+const (
+	// Randomized is Algorithm Randomized-MST (§2.2): O(log n) awake
+	// w.h.p., O(n log n) rounds.
+	Randomized Algorithm = iota
+	// Deterministic is Algorithm Deterministic-MST (§2.3): O(log n)
+	// awake, O(nN log n) rounds.
+	Deterministic
+	// LogStar is the Corollary 1 variant: O(log n log* n) awake,
+	// O(n log n log* n) rounds, independent of the ID space.
+	LogStar
+	// Baseline is the traditional always-awake CONGEST comparator:
+	// awake complexity equals round complexity.
+	Baseline
+	// ClassicGHS is an independent classic synchronous GHS
+	// implementation in the traditional model (event-driven flood/echo
+	// waves, chain merges via core detection, no sleeping).
+	ClassicGHS
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Randomized:
+		return "randomized"
+	case Deterministic:
+		return "deterministic"
+	case LogStar:
+		return "logstar"
+	case Baseline:
+		return "baseline"
+	case ClassicGHS:
+		return "ghs"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Runner returns the core entry point for the algorithm.
+func (a Algorithm) Runner() func(*Graph, Options) (*Outcome, error) {
+	switch a {
+	case Randomized:
+		return core.RunRandomized
+	case Deterministic:
+		return core.RunDeterministic
+	case LogStar:
+		return core.RunLogStar
+	case Baseline:
+		return core.RunBaseline
+	case ClassicGHS:
+		return core.RunClassicGHS
+	default:
+		return nil
+	}
+}
+
+// ParseAlgorithm converts a CLI name into an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range []Algorithm{Randomized, Deterministic, LogStar, Baseline, ClassicGHS} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("sleepmst: unknown algorithm %q (want randomized|deterministic|logstar|baseline|ghs)", s)
+}
+
+// Report wraps an Outcome with convenience accessors.
+type Report struct {
+	*Outcome
+	Algorithm Algorithm
+	Graph     *Graph
+}
+
+// AwakeComplexity returns the worst-case awake complexity max_v A_v.
+func (r *Report) AwakeComplexity() int64 { return r.Result.MaxAwake() }
+
+// RoundComplexity returns the traditional round complexity.
+func (r *Report) RoundComplexity() int64 { return r.Result.Rounds }
+
+// MSTWeight returns the total weight of the computed tree.
+func (r *Report) MSTWeight() int64 { return graph.TotalWeight(r.MSTEdges) }
+
+// Verified reports whether the computed tree equals the sequential
+// reference MST (Kruskal).
+func (r *Report) Verified() bool {
+	return graph.SameEdgeSet(r.MSTEdges, graph.Kruskal(r.Graph))
+}
+
+// Run executes the selected algorithm on g.
+func Run(a Algorithm, g *Graph, opts Options) (*Report, error) {
+	run := a.Runner()
+	if run == nil {
+		return nil, fmt.Errorf("sleepmst: invalid algorithm %v", a)
+	}
+	out, err := run(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Outcome: out, Algorithm: a, Graph: g}, nil
+}
+
+// ReferenceMST returns the unique MST via sequential Kruskal.
+func ReferenceMST(g *Graph) []Edge { return graph.Kruskal(g) }
+
+// Graph constructors -----------------------------------------------------
+
+// NewGraph builds a graph from explicit edges; see graph.New.
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.New(n, edges) }
+
+// Path returns the path graph with distinct random weights.
+func Path(n int, seed int64) *Graph { return graph.Path(n, graph.GenConfig{Seed: seed}) }
+
+// Ring returns the cycle graph (the Theorem 3 topology).
+func Ring(n int, seed int64) *Graph { return graph.Cycle(n, graph.GenConfig{Seed: seed}) }
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int, seed int64) *Graph {
+	return graph.Grid(rows, cols, graph.GenConfig{Seed: seed})
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int, seed int64) *Graph { return graph.Complete(n, graph.GenConfig{Seed: seed}) }
+
+// RandomConnected returns a connected random graph with ~m edges.
+func RandomConnected(n, m int, seed int64) *Graph {
+	return graph.RandomConnected(n, m, graph.GenConfig{Seed: seed})
+}
+
+// SensorNetwork returns a connected random geometric graph: n sensors
+// in the unit square, links within the radius — the wireless topology
+// that motivates the sleeping model.
+func SensorNetwork(n int, radius float64, seed int64) *Graph {
+	return graph.RandomGeometric(n, radius, graph.GenConfig{Seed: seed})
+}
+
+// NewGRC builds the Figure 1 lower-bound graph with r rows and c
+// columns.
+func NewGRC(r, c int, seed int64) (*GRC, error) {
+	return graph.NewGRC(r, c, graph.GenConfig{Seed: seed})
+}
+
+// WithRandomIDs reassigns distinct random node IDs in [1, space]; the
+// deterministic algorithm's round complexity scales with the max ID.
+func WithRandomIDs(g *Graph, space, seed int64) *Graph { return graph.RandomIDs(g, space, seed) }
+
+// Diameter returns the exact hop diameter of g.
+func Diameter(g *Graph) int { return graph.Diameter(g) }
+
+// Lower-bound experiments -------------------------------------------------
+
+// DSDInstance re-exports the Theorem 4 set-disjointness encoding.
+type DSDInstance = lowerbound.DSDInstance
+
+// NewDSDInstance encodes a set-disjointness instance on a G_rc graph.
+func NewDSDInstance(grc *GRC, x, y []bool) (*DSDInstance, error) {
+	return lowerbound.NewDSDInstance(grc, x, y)
+}
+
+// SolveSDViaMST runs the full SD → DSD → CSS → MST reduction with the
+// given algorithm.
+func SolveSDViaMST(ins *DSDInstance, a Algorithm, opts Options) (disjoint bool, rep *Metrics, err error) {
+	res, err := lowerbound.SolveSDViaMST(ins, a.Runner(), opts)
+	if err != nil {
+		return false, nil, err
+	}
+	return res.Disjoint, res.Outcome.Result, nil
+}
+
+// MSTPorts returns, for each node, the ports of its incident MST edges
+// — the per-node output the model asks for ("every node knows which of
+// its incident edges belong to the MST").
+func MSTPorts(rep *Report) [][]int {
+	out := make([][]int, len(rep.States))
+	for v, st := range rep.States {
+		out[v] = st.TreePorts()
+	}
+	return out
+}
+
+// LDTState re-exports the per-node Labeled Distance Tree state for
+// advanced users building their own sleeping-model procedures.
+type LDTState = ldt.State
+
+// Sleeping-model primitives ------------------------------------------------
+
+// LeaderResult re-exports the leader-election result.
+type LeaderResult = core.LeaderResult
+
+// AggregateResult re-exports the aggregation/broadcast result.
+type AggregateResult = core.AggregateResult
+
+// ElectLeader elects a unique leader known to every node in O(log n)
+// awake rounds w.h.p.
+func ElectLeader(g *Graph, opts Options) (*LeaderResult, error) {
+	return core.ElectLeader(g, opts)
+}
+
+// AggregateMin computes the global minimum of one value per node and
+// delivers it to every node in O(log n) awake rounds w.h.p.
+func AggregateMin(g *Graph, values []int64, opts Options) (*AggregateResult, error) {
+	return core.AggregateMin(g, values, opts)
+}
+
+// BroadcastFrom delivers the source node's value to every node in
+// O(log n) awake rounds w.h.p.
+func BroadcastFrom(g *Graph, source int, value int64, opts Options) (*AggregateResult, error) {
+	return core.BroadcastFrom(g, source, value, opts)
+}
