@@ -1,20 +1,28 @@
 // Command sleepsim runs one sleeping-model MST computation and prints
 // its metrics, an optional awake-timeline trace, and the verification
-// against the sequential reference MST.
+// against the sequential reference MST. With -chaos it instead runs a
+// fault-injection sweep: many runs per (algorithm, fault rate) cell,
+// each perturbed by a seeded chaos policy and classified by the
+// outcome oracle.
 //
 // Examples:
 //
 //	sleepsim -graph random -n 256 -m 768 -algo randomized
 //	sleepsim -graph ring -n 128 -algo deterministic -trace
 //	sleepsim -graph sensor -n 200 -radius 0.15 -algo logstar -hist
+//	sleepsim -chaos drop -rate 0.01 -n 256
+//	sleepsim -chaos crash -rate 0,0.05,0.1 -chaos-seeds 10 -json sweep.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"sleepmst"
+	"sleepmst/internal/chaos"
 	"sleepmst/internal/core"
 	"sleepmst/internal/sim"
 	"sleepmst/internal/trace"
@@ -34,13 +42,116 @@ func main() {
 		showTrace = flag.Bool("trace", false, "print the awake-timeline trace")
 		showHist  = flag.Bool("hist", false, "print the awake-count histogram")
 		width     = flag.Int("width", 72, "trace width in columns")
+
+		chaosFault = flag.String("chaos", "", "chaos sweep fault kind: drop|delay|dup|flip|crash|oversleep (empty = single clean run)")
+		rateList   = flag.String("rate", "0,0.01,0.05", "comma-separated fault rates for -chaos (crash: fraction of nodes)")
+		chaosSeeds = flag.Int("chaos-seeds", 5, "runs per (algorithm, rate) cell for -chaos")
+		chaosAlgos = flag.String("chaos-algos", "randomized,deterministic,baseline", "comma-separated algorithms for -chaos")
+		awakeBud   = flag.Int64("chaos-awakebudget", 0, "per-node awake budget enforced during chaos runs (0 = off)")
+		jsonOut    = flag.String("json", "", "write the chaos sweep as JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
-	if err := run(*graphKind, *n, *m, *rows, *radius, *seed, *algoName, *idSpace, *bitCap, *showTrace, *showHist, *width); err != nil {
+	var err error
+	if *chaosFault != "" {
+		err = runChaos(*graphKind, *n, *m, *rows, *radius, *seed, *bitCap,
+			*chaosFault, *rateList, *chaosSeeds, *chaosAlgos, *awakeBud, *jsonOut)
+	} else {
+		err = run(*graphKind, *n, *m, *rows, *radius, *seed, *algoName, *idSpace, *bitCap, *showTrace, *showHist, *width)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sleepsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runChaos executes the -chaos sweep: for every (algorithm, rate)
+// cell, chaos-seeds runs are perturbed by the selected fault policy
+// and classified by the oracle.
+func runChaos(graphKind string, n, m, rows int, radius float64, seed int64, bitCap bool,
+	faultName, rateList string, seeds int, algoList string, awakeBudget int64, jsonOut string) error {
+	g, err := buildGraph(graphKind, n, m, rows, radius, seed)
+	if err != nil {
+		return err
+	}
+	fault, err := chaos.ParseFault(faultName)
+	if err != nil {
+		return err
+	}
+	rates, err := parseRates(rateList)
+	if err != nil {
+		return err
+	}
+	var runners []chaos.Runner
+	for _, name := range strings.Split(algoList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, err := sleepmst.ParseAlgorithm(name)
+		if err != nil {
+			return err
+		}
+		runners = append(runners, chaos.Runner{Name: a.String(), Run: a.Runner()})
+	}
+	opts := core.Options{AwakeBudget: awakeBudget}
+	if bitCap {
+		opts.BitCap = core.DefaultBitCap(g)
+	}
+	res, err := chaos.RunSweep(chaos.SweepConfig{
+		Graph:    g,
+		Runners:  runners,
+		Fault:    fault,
+		Rates:    rates,
+		Seeds:    seeds,
+		BaseSeed: seed,
+		Opts:     opts,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph          : %s n=%d m=%d\n", graphKind, g.N(), g.M())
+	fmt.Print(res.Table())
+	if jsonOut == "" {
+		return nil
+	}
+	b, err := res.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if jsonOut == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("json           : wrote %s\n", jsonOut)
+	return nil
+}
+
+// parseRates parses a comma-separated list of fault rates.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %v", part, err)
+		}
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("rate %g outside [0, 1]", r)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("no rates in %q", s)
+	}
+	return rates, nil
 }
 
 func run(graphKind string, n, m, rows int, radius float64, seed int64, algoName string,
@@ -98,6 +209,9 @@ func traceOut(res *sim.Result, width, n int) string {
 		clipped := *res
 		clipped.AwakeRounds = res.AwakeRounds[:64]
 		clipped.AwakePerNode = res.AwakePerNode[:64]
+		if len(clipped.CrashRound) > 64 {
+			clipped.CrashRound = res.CrashRound[:64]
+		}
 		return trace.Timeline(&clipped, width)
 	}
 	return trace.Timeline(res, width)

@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"reflect"
+	"unsafe"
+)
+
+// maxFlipBit bounds which bit of an integer field gets flipped. Low
+// bits produce plausible-looking corruption (a fragment ID off by a
+// few, a level bumped by one) — far more insidious than a value
+// smashed to garbage, and exactly what a single wire bit-flip does to
+// a compact CONGEST encoding.
+const maxFlipBit = 12
+
+// flipBit returns a copy of msg with one bit flipped in one integer
+// field, chosen deterministically from h. The original message is
+// never mutated (payloads may be shared across ports). Struct fields
+// are walked recursively, including unexported ones — wire corruption
+// does not respect Go visibility — and one level of interface
+// indirection (e.g. the LDT wave wrapper's payload) is descended into.
+// Returns (msg, false) when the payload holds no flippable integer.
+func flipBit(msg interface{}, h uint64) (interface{}, bool) {
+	if msg == nil {
+		return msg, false
+	}
+	v := reflect.ValueOf(msg)
+	wasPtr := v.Kind() == reflect.Ptr
+	if wasPtr {
+		if v.IsNil() {
+			return msg, false
+		}
+		v = v.Elem()
+	}
+	cp := reflect.New(v.Type()).Elem()
+	cp.Set(v)
+	ints, ifaces := flipTargets(cp)
+	if len(ints)+len(ifaces) == 0 {
+		return msg, false
+	}
+	pick := int(h % uint64(len(ints)+len(ifaces)))
+	flipped := false
+	if pick < len(ints) {
+		t := ints[pick]
+		bit := (h >> 17) % maxFlipBit
+		if t.CanInt() {
+			t.SetInt(t.Int() ^ int64(1)<<bit)
+		} else {
+			t.SetUint(t.Uint() ^ uint64(1)<<bit)
+		}
+		flipped = true
+	} else {
+		f := ifaces[pick-len(ints)]
+		if inner, ok := flipBit(f.Interface(), splitmix64(h)); ok {
+			f.Set(reflect.ValueOf(inner))
+			flipped = true
+		}
+	}
+	if !flipped {
+		return msg, false
+	}
+	if wasPtr {
+		pp := reflect.New(cp.Type())
+		pp.Elem().Set(cp)
+		return pp.Interface(), true
+	}
+	return cp.Interface(), true
+}
+
+// flipTargets walks an addressable copy and collects the flippable
+// integer values plus the non-nil interface fields (candidate nested
+// payloads). Unexported fields are made writable via unsafe: the copy
+// is private to the flipper, so this cannot corrupt shared state.
+func flipTargets(root reflect.Value) (ints, ifaces []reflect.Value) {
+	var walk func(rv reflect.Value)
+	walk = func(rv reflect.Value) {
+		switch rv.Kind() {
+		case reflect.Struct:
+			for i := 0; i < rv.NumField(); i++ {
+				f := rv.Field(i)
+				if !f.CanSet() {
+					f = reflect.NewAt(f.Type(), unsafe.Pointer(f.UnsafeAddr())).Elem()
+				}
+				walk(f)
+			}
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			if rv.CanSet() {
+				ints = append(ints, rv)
+			}
+		case reflect.Interface:
+			if !rv.IsNil() && rv.CanSet() {
+				ifaces = append(ifaces, rv)
+			}
+		}
+	}
+	walk(root)
+	return ints, ifaces
+}

@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"sleepmst/internal/core"
+	"sleepmst/internal/graph"
+	"sleepmst/internal/sim"
+)
+
+func TestClassifyErrorMapping(t *testing.T) {
+	g := testGraph(t, 8)
+	cases := []struct {
+		err  error
+		want Classification
+	}{
+		{fmt.Errorf("node 3: %w (%w)", sim.ErrAwakeBudget, sim.ErrAborted), AwakeBudgetBlown},
+		{fmt.Errorf("sim: round 9 exceeds cap: %w (%w)", sim.ErrRoundCap, sim.ErrAborted), Deadlock},
+		{fmt.Errorf("%w: 3 fragments remain", core.ErrNotConverged), Disconnected},
+		{fmt.Errorf("node 2: %w (%w)", sim.ErrBitCap, sim.ErrAborted), WrongTree},
+		{fmt.Errorf("node 5 panicked: interface conversion"), WrongTree},
+	}
+	for _, tc := range cases {
+		if got := Classify(g, nil, tc.err); got != tc.want {
+			t.Errorf("Classify(err=%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyTrees(t *testing.T) {
+	g := testGraph(t, 10)
+	ref := graph.Kruskal(g)
+	if got := Classify(g, &core.Outcome{MSTEdges: ref}, nil); got != CorrectMST {
+		t.Errorf("reference MST classified %v", got)
+	}
+
+	// A spanning tree that is not the MST: swap one MST edge for a
+	// heavier non-tree edge that keeps the graph connected.
+	inTree := graph.EdgeSet(ref)
+	var wrong []graph.Edge
+	found := false
+	for _, e := range g.Edges() {
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		if _, ok := inTree[[2]int{a, b}]; ok {
+			continue
+		}
+		// Adding non-tree edge e closes a cycle; drop the heaviest
+		// tree edge on that cycle... simplest valid construction:
+		// replace the MST edge whose removal leaves e reconnecting the
+		// two sides. Try all tree edges and keep the first swap that
+		// still spans.
+		for i := range ref {
+			cand := append([]graph.Edge{}, ref[:i]...)
+			cand = append(cand, ref[i+1:]...)
+			cand = append(cand, e)
+			if graph.IsSpanningTree(g, cand) && graph.TotalWeight(cand) != graph.TotalWeight(ref) {
+				wrong = cand
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("could not build a non-minimum spanning tree on the test graph")
+	}
+	if got := Classify(g, &core.Outcome{MSTEdges: wrong}, nil); got != WrongTree {
+		t.Errorf("non-minimum tree classified %v, want wrong-tree", got)
+	}
+
+	// A forest that does not span is Disconnected.
+	if got := Classify(g, &core.Outcome{MSTEdges: ref[:len(ref)-2]}, nil); got != Disconnected {
+		t.Errorf("partial forest classified %v, want disconnected", got)
+	}
+	if got := Classify(g, nil, nil); got != Disconnected {
+		t.Errorf("nil outcome classified %v, want disconnected", got)
+	}
+}
+
+func TestClassificationStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Classifications() {
+		s := c.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("classification %d has bad or duplicate name %q", int(c), s)
+		}
+		seen[s] = true
+	}
+}

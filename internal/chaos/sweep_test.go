@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sleepmst/internal/core"
+)
+
+func TestParseFault(t *testing.T) {
+	for _, name := range []string{"drop", "delay", "dup", "flip", "crash", "oversleep"} {
+		f, err := ParseFault(name)
+		if err != nil {
+			t.Errorf("ParseFault(%q): %v", name, err)
+		}
+		if f.String() != name {
+			t.Errorf("round trip %q -> %v", name, f)
+		}
+	}
+	if _, err := ParseFault("nope"); err == nil {
+		t.Error("want error for unknown fault")
+	}
+}
+
+func TestSweepRateZeroIsAllCorrect(t *testing.T) {
+	g := testGraph(t, 20)
+	res, err := RunSweep(SweepConfig{
+		Graph: g,
+		Runners: []Runner{
+			{"randomized", core.RunRandomized},
+			{"baseline", core.RunBaseline},
+		},
+		Fault: FaultDrop,
+		Rates: []float64{0},
+		Seeds: 3,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, cell := range res.Cells {
+		if cell.Counts[CorrectMST.String()] != cell.Runs {
+			t.Errorf("%s rate 0: counts = %v, want all %d correct-mst",
+				cell.Algorithm, cell.Counts, cell.Runs)
+		}
+		if cell.Diverged != 0 {
+			t.Errorf("%s rate 0: diverged = %d", cell.Algorithm, cell.Diverged)
+		}
+	}
+}
+
+func TestSweepCountsAndTable(t *testing.T) {
+	g := testGraph(t, 20)
+	res, err := RunSweep(SweepConfig{
+		Graph:   g,
+		Runners: []Runner{{"randomized", core.RunRandomized}},
+		Fault:   FaultDrop,
+		Rates:   []float64{0, 0.05},
+		Seeds:   3,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	for _, cell := range res.Cells {
+		total := 0
+		for _, c := range cell.Counts {
+			total += c
+		}
+		if total != cell.Runs || cell.Runs != 3 {
+			t.Errorf("cell %v: counts sum %d over %d runs", cell, total, cell.Runs)
+		}
+	}
+	table := res.Table()
+	for _, want := range []string{"randomized", "correct-mst", "disconnected", "fault=drop"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	g := testGraph(t, 16)
+	res, err := RunSweep(SweepConfig{
+		Graph:   g,
+		Runners: []Runner{{"randomized", core.RunRandomized}},
+		Fault:   FaultOversleep,
+		Rates:   []float64{0.02},
+		Seeds:   2,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	b, err := res.JSON()
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	var back SweepResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.N != 16 || back.Fault != "oversleep" || len(back.Cells) != 1 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	// Determinism: the artifact must be byte-stable across reruns.
+	res2, err := RunSweep(SweepConfig{
+		Graph:   g,
+		Runners: []Runner{{"randomized", core.RunRandomized}},
+		Fault:   FaultOversleep,
+		Rates:   []float64{0.02},
+		Seeds:   2,
+	})
+	if err != nil {
+		t.Fatalf("sweep rerun: %v", err)
+	}
+	b2, _ := res2.JSON()
+	if string(b) != string(b2) {
+		t.Errorf("sweep JSON not reproducible:\n%s\n%s", b, b2)
+	}
+}

@@ -50,6 +50,10 @@ type Options struct {
 	// 0 means the default; values must stay in [1, 3] so the
 	// supergraph degree bound 4 and the 5-color palette still work.
 	AcceptBudget int
+	// Interceptor, if non-nil, is handed to the simulator's fault
+	// injection hook surface (see sim.Interceptor and internal/chaos).
+	// Nil keeps the paper's clean sleeping model.
+	Interceptor sim.Interceptor
 }
 
 // acceptBudget resolves and validates Options.AcceptBudget.

@@ -454,6 +454,7 @@ func RunDeterministic(g *graph.Graph, opts Options) (*Outcome, error) {
 		BitCap:            opts.BitCap,
 		RecordAwakeRounds: opts.RecordAwakeRounds,
 		AwakeBudget:       opts.AwakeBudget,
+		Interceptor:       opts.Interceptor,
 	}, func(nd *sim.Node) error {
 		c := newNodeCtx(nd, states[nd.Index()])
 		c.acceptBudget = budget

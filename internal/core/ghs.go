@@ -160,6 +160,7 @@ func RunClassicGHS(g *graph.Graph, opts Options) (*Outcome, error) {
 		BitCap:            opts.BitCap,
 		RecordAwakeRounds: opts.RecordAwakeRounds,
 		AwakeBudget:       opts.AwakeBudget,
+		Interceptor:       opts.Interceptor,
 	}, func(nd *sim.Node) error {
 		gn := &ghsNode{
 			nd:      nd,

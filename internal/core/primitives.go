@@ -98,6 +98,7 @@ func AggregateMin(g *graph.Graph, values []int64, opts Options) (*AggregateResul
 		BitCap:            opts.BitCap,
 		RecordAwakeRounds: opts.RecordAwakeRounds,
 		AwakeBudget:       opts.AwakeBudget,
+		Interceptor:       opts.Interceptor,
 	}, func(nd *sim.Node) error {
 		c := newNodeCtx(nd, states[nd.Index()])
 		blkPerPhase := int64(randPhaseBlocks) * c.blk
@@ -162,6 +163,7 @@ func BroadcastFrom(g *graph.Graph, source int, value int64, opts Options) (*Aggr
 		BitCap:            opts.BitCap,
 		RecordAwakeRounds: opts.RecordAwakeRounds,
 		AwakeBudget:       opts.AwakeBudget,
+		Interceptor:       opts.Interceptor,
 	}, func(nd *sim.Node) error {
 		c := newNodeCtx(nd, states[nd.Index()])
 		blkPerPhase := int64(randPhaseBlocks) * c.blk

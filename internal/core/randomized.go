@@ -116,6 +116,7 @@ func RunRandomized(g *graph.Graph, opts Options) (*Outcome, error) {
 		BitCap:            opts.BitCap,
 		RecordAwakeRounds: opts.RecordAwakeRounds,
 		AwakeBudget:       opts.AwakeBudget,
+		Interceptor:       opts.Interceptor,
 	}, func(nd *sim.Node) error {
 		c := newNodeCtx(nd, states[nd.Index()])
 		blkPerPhase := int64(randPhaseBlocks) * c.blk

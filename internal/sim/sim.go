@@ -39,6 +39,67 @@ type Sizer interface {
 // implement Sizer.
 const DefaultMessageBits = 64
 
+// Interceptor is the chaos hook surface: a fault-injection layer that
+// observes and perturbs the runtime at its two decision points — the
+// message delivery point and wake scheduling — plus a crash-stop
+// schedule. A nil Config.Interceptor keeps the clean-model semantics
+// and costs nothing on the hot path.
+//
+// All methods are called from the scheduler goroutine only, never
+// concurrently. Implementations that want deterministic replay must
+// derive their randomness from the event coordinates (round, node,
+// port) rather than from sequential RNG state, or reset that state in
+// BeginRun.
+type Interceptor interface {
+	// BeginRun is called once before round 1 with the network size, so
+	// per-run state (crash tables, first-fault round) can be reset.
+	BeginRun(n int)
+	// InterceptMessage is called once per staged message at the
+	// delivery point, before routing. The implementation may drop,
+	// delay, duplicate, or replace the payload by mutating ev.
+	InterceptMessage(ev *MessageEvent)
+	// InterceptWake is called when a node parks with the round it
+	// intends to be awake in next; the return value replaces that
+	// round. Returns < intended are clamped to intended: the adversary
+	// can make a node oversleep, never wake it early (an early wake
+	// would need the node program's cooperation).
+	InterceptWake(node int, intended int64) int64
+	// CrashRound returns the round from which node is crash-stopped —
+	// the node is not awake in any round >= the returned value and its
+	// pending messages are discarded. 0 means the node never crashes.
+	CrashRound(node int) int64
+}
+
+// MessageEvent is one message at the delivery point. The interceptor
+// mutates the verdict fields; the runtime applies them in order: a
+// dropped message is lost outright; otherwise the (possibly replaced)
+// payload is delivered Delay rounds late, plus Duplicate extra copies
+// in the rounds after that. A delayed copy reaches the receiver only
+// if the receiver is awake in the delivery round, exactly like a
+// freshly sent message.
+type MessageEvent struct {
+	// Round, From, Port, To identify the send: node From sent Payload
+	// on its port Port (towards node To) in round Round.
+	Round int64
+	From  int
+	Port  int
+	To    int
+	// Payload is the message; the interceptor may replace it (e.g.
+	// with a bit-flipped copy). Replacements are re-measured against
+	// Config.BitCap on the receive side.
+	Payload interface{}
+
+	// Drop loses the message (metered as dropped + lost).
+	Drop bool
+	// Delay postpones delivery by that many rounds (0 = this round).
+	Delay int64
+	// Duplicate delivers that many extra copies in consecutive rounds
+	// after the primary copy.
+	Duplicate int
+	// Mutated marks the payload as corrupted for metering.
+	Mutated bool
+}
+
 // Outbox maps port number -> message to send on that port.
 type Outbox map[int]interface{}
 
@@ -67,6 +128,10 @@ type Config struct {
 	// RecordAwakeRounds records, per node, the exact rounds in which
 	// the node was awake (for traces and schedule tests).
 	RecordAwakeRounds bool
+	// Interceptor, if non-nil, is invoked at the delivery point and at
+	// wake scheduling (fault injection; see Interceptor). Nil keeps
+	// the clean model.
+	Interceptor Interceptor
 }
 
 // DefaultMaxRounds caps runaway simulations.
@@ -98,6 +163,24 @@ type Result struct {
 	// AwakeRounds[i] lists the rounds node i was awake, if
 	// Config.RecordAwakeRounds was set.
 	AwakeRounds [][]int64
+
+	// Chaos metering. All fields below stay zero/nil unless
+	// Config.Interceptor was set.
+
+	// MessagesDropped counts messages lost to interceptor drops (they
+	// are also counted in MessagesLost).
+	MessagesDropped int64
+	// MessagesDelayed counts primary copies postponed by the
+	// interceptor; MessagesDuplicated counts injected extra copies.
+	MessagesDelayed, MessagesDuplicated int64
+	// MessagesCorrupted counts payloads the interceptor marked
+	// Mutated.
+	MessagesCorrupted int64
+	// WakesPerturbed counts wake rounds the interceptor moved.
+	WakesPerturbed int64
+	// CrashRound[i] is the round from which node i was crash-stopped
+	// (0 = never). Nil when no interceptor was configured.
+	CrashRound []int64
 }
 
 // MaxAwake returns the worst-case awake complexity max_v A_v.
@@ -150,6 +233,17 @@ func (r *Result) MaxBitsReceived() int64 {
 // node failed.
 var ErrAborted = errors.New("sim: run aborted")
 
+// Typed failure causes, wrapped into the returned error so callers
+// (e.g. the chaos oracle) can classify runs with errors.Is.
+var (
+	// ErrRoundCap: the round counter exceeded Config.MaxRounds.
+	ErrRoundCap = errors.New("round cap exceeded")
+	// ErrAwakeBudget: a node exceeded Config.AwakeBudget awake rounds.
+	ErrAwakeBudget = errors.New("awake budget exceeded")
+	// ErrBitCap: a message exceeded Config.BitCap bits.
+	ErrBitCap = errors.New("bit cap exceeded")
+)
+
 // abortPanic is the sentinel used to unwind node goroutines on abort.
 type abortPanic struct{}
 
@@ -166,10 +260,11 @@ type Node struct {
 	idx int
 	rng *rand.Rand
 
-	wake    int64 // round of the next Exchange
-	awake   int64
-	halted  bool
-	aborted bool
+	wake      int64 // round of the next Exchange
+	awake     int64
+	halted    bool
+	aborted   bool
+	perturbed bool // wake was delayed by the interceptor
 
 	out Outbox // staged by Exchange, consumed by the scheduler
 	in  Inbox  // set by the scheduler before resuming
@@ -213,9 +308,15 @@ func (nd *Node) Rand() *rand.Rand { return nd.rng }
 
 // SleepUntil schedules the next Exchange for round r. It panics if r
 // precedes the node's next available round (a programming error in the
-// algorithm, not a runtime condition).
+// algorithm, not a runtime condition) — unless an interceptor already
+// delayed the node past r, in which case the target is clamped: a
+// node that overslept through round r simply wakes at its next
+// opportunity, which is exactly how it misses a merge wave.
 func (nd *Node) SleepUntil(r int64) {
 	if r < nd.wake {
+		if nd.perturbed {
+			return
+		}
 		panic(fmt.Sprintf("sim: node %d cannot sleep until past round %d (next available %d)", nd.idx, r, nd.wake))
 	}
 	nd.wake = r
@@ -248,12 +349,45 @@ func (nd *Node) Exchange(out Outbox) Inbox {
 
 // runtime is the scheduler state.
 type runtime struct {
-	cfg    Config
-	maxID  int64
-	nodes  []*Node
-	park   chan parkEvent
-	res    *Result
-	failed error
+	cfg     Config
+	maxID   int64
+	nodes   []*Node
+	park    chan parkEvent
+	res     *Result
+	failed  error
+	delayed delayHeap // in-flight messages postponed by the interceptor
+	seq     int64     // FIFO tiebreak for delayed messages
+}
+
+// delayedMsg is one interceptor-postponed message copy: it reaches
+// node to on port rev in round round iff to is awake then.
+type delayedMsg struct {
+	round    int64
+	seq      int64
+	from     int
+	fromPort int
+	to       int
+	rev      int
+	msg      interface{}
+}
+
+type delayHeap []delayedMsg
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) Less(i, j int) bool {
+	if h[i].round != h[j].round {
+		return h[i].round < h[j].round
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x interface{}) { *h = append(*h, x.(delayedMsg)) }
+func (h *delayHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
 }
 
 // Run executes prog on every node of the configured graph and returns
@@ -283,6 +417,10 @@ func Run(cfg Config, prog Program) (*Result, error) {
 	if cfg.RecordAwakeRounds {
 		rt.res.AwakeRounds = make([][]int64, n)
 	}
+	if cfg.Interceptor != nil {
+		rt.res.CrashRound = make([]int64, n)
+		cfg.Interceptor.BeginRun(n)
+	}
 	for i := 0; i < n; i++ {
 		nd := &Node{
 			rt:     rt,
@@ -295,6 +433,8 @@ func Run(cfg Config, prog Program) (*Result, error) {
 		go rt.runNode(nd, prog)
 	}
 	rt.loop()
+	// Messages still in flight when the run ends never reach anyone.
+	rt.res.MessagesLost += int64(rt.delayed.Len())
 	if rt.failed != nil {
 		return rt.res, rt.failed
 	}
@@ -361,10 +501,28 @@ func (rt *runtime) loop() {
 				if ev.err != nil && rt.failed == nil {
 					rt.failed = fmt.Errorf("node %d: %w", ev.idx, ev.err)
 				}
-			} else {
-				parked[ev.idx] = true
-				heap.Push(wakes, wakeEntry{round: rt.nodes[ev.idx].wake, idx: ev.idx})
+				continue
 			}
+			nd := rt.nodes[ev.idx]
+			if itc := rt.cfg.Interceptor; itc != nil {
+				if w := itc.InterceptWake(ev.idx, nd.wake); w > nd.wake {
+					nd.wake = w
+					nd.perturbed = true
+					rt.res.WakesPerturbed++
+				}
+				if cr := itc.CrashRound(ev.idx); cr > 0 && nd.wake >= cr {
+					// Crash-stop: the node never reaches its next wake
+					// round. Unwind its goroutine; the exit event lands
+					// on rt.park, so extend this collection loop by one.
+					rt.res.CrashRound[ev.idx] = cr
+					nd.aborted = true
+					nd.resume <- struct{}{}
+					awaitEvents++
+					continue
+				}
+			}
+			parked[ev.idx] = true
+			heap.Push(wakes, wakeEntry{round: nd.wake, idx: ev.idx})
 		}
 		if rt.failed != nil {
 			rt.abort(parked)
@@ -380,7 +538,7 @@ func (rt *runtime) loop() {
 		// Next busy round: minimum wake among parked nodes.
 		round := (*wakes)[0].round
 		if round > rt.cfg.MaxRounds {
-			rt.failed = fmt.Errorf("sim: round %d exceeds cap %d: %w", round, rt.cfg.MaxRounds, ErrAborted)
+			rt.failed = fmt.Errorf("sim: round %d exceeds cap %d: %w (%w)", round, rt.cfg.MaxRounds, ErrRoundCap, ErrAborted)
 			rt.abort(parked)
 			for range parked {
 				<-rt.park
@@ -410,8 +568,8 @@ func (rt *runtime) loop() {
 			nd.awake++
 			rt.res.AwakePerNode[idx]++
 			if rt.cfg.AwakeBudget > 0 && nd.awake > rt.cfg.AwakeBudget && rt.failed == nil {
-				rt.failed = fmt.Errorf("sim: node %d exceeded awake budget %d in round %d: %w",
-					idx, rt.cfg.AwakeBudget, round, ErrAborted)
+				rt.failed = fmt.Errorf("sim: node %d exceeded awake budget %d in round %d: %w (%w)",
+					idx, rt.cfg.AwakeBudget, round, ErrAwakeBudget, ErrAborted)
 			}
 			rt.res.HaltRound[idx] = round
 			if rt.cfg.RecordAwakeRounds {
@@ -426,7 +584,11 @@ func (rt *runtime) loop() {
 }
 
 // deliver routes the staged outboxes of the round's participants to
-// participants that are awake, metering messages and bits.
+// participants that are awake, metering messages and bits. With an
+// interceptor configured it also applies message verdicts and flushes
+// previously delayed copies; delayed copies land before fresh sends,
+// so a fresh message overwrites a stale replay arriving on the same
+// port in the same round.
 func (rt *runtime) deliver(round int64, participants []int) error {
 	inRound := make(map[int]bool, len(participants))
 	for _, idx := range participants {
@@ -436,32 +598,132 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 		nd := rt.nodes[idx]
 		nd.in = nil
 	}
+	itc := rt.cfg.Interceptor
+	if itc != nil {
+		if err := rt.deliverDelayed(round, inRound); err != nil {
+			return err
+		}
+	}
 	for _, idx := range participants {
 		nd := rt.nodes[idx]
 		ports := rt.cfg.Graph.Ports(idx)
-		for p, msg := range nd.out {
+		if itc == nil {
+			for p, msg := range nd.out {
+				bits := MessageBits(msg)
+				if rt.cfg.BitCap > 0 && bits > rt.cfg.BitCap {
+					return fmt.Errorf("sim: node %d sent %d-bit message on port %d in round %d, cap %d: %w (%w)",
+						idx, bits, p, round, rt.cfg.BitCap, ErrBitCap, ErrAborted)
+				}
+				rt.res.MessagesSent++
+				rt.res.MessagesSentPerNode[idx]++
+				rt.res.BitsSent += int64(bits)
+				if !inRound[ports[p].To] {
+					rt.res.MessagesLost++
+					continue
+				}
+				if err := rt.deposit(round, idx, p, ports[p].To, ports[p].RevPort, msg); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Chaos path: iterate ports in index order so a stateful
+		// interceptor sees a deterministic event sequence (the clean
+		// path above may range over the outbox map in any order —
+		// harmless there because metering is additive).
+		for p := range ports {
+			msg, staged := nd.out[p]
+			if !staged {
+				continue
+			}
 			bits := MessageBits(msg)
 			if rt.cfg.BitCap > 0 && bits > rt.cfg.BitCap {
-				return fmt.Errorf("sim: node %d sent %d-bit message on port %d in round %d, cap %d: %w",
-					idx, bits, p, round, rt.cfg.BitCap, ErrAborted)
+				return fmt.Errorf("sim: node %d sent %d-bit message on port %d in round %d, cap %d: %w (%w)",
+					idx, bits, p, round, rt.cfg.BitCap, ErrBitCap, ErrAborted)
 			}
 			rt.res.MessagesSent++
 			rt.res.MessagesSentPerNode[idx]++
 			rt.res.BitsSent += int64(bits)
-			to := ports[p].To
-			if !inRound[to] {
+			ev := MessageEvent{Round: round, From: idx, Port: p, To: ports[p].To, Payload: msg}
+			itc.InterceptMessage(&ev)
+			if ev.Mutated {
+				rt.res.MessagesCorrupted++
+			}
+			if ev.Drop {
+				rt.res.MessagesDropped++
 				rt.res.MessagesLost++
 				continue
 			}
-			rt.res.MessagesDelivered++
-			rt.res.BitsReceivedPerNode[to] += int64(bits)
-			rcv := rt.nodes[to]
-			if rcv.in == nil {
-				rcv.in = make(Inbox, 2)
+			if ev.Delay < 0 {
+				ev.Delay = 0
 			}
-			rcv.in[ports[p].RevPort] = msg
+			if ev.Delay > 0 {
+				rt.res.MessagesDelayed++
+			}
+			for c := 0; c <= ev.Duplicate; c++ {
+				if c > 0 {
+					rt.res.MessagesDuplicated++
+				}
+				at := round + ev.Delay + int64(c)
+				if at == round {
+					if !inRound[ports[p].To] {
+						rt.res.MessagesLost++
+						continue
+					}
+					if err := rt.deposit(round, idx, p, ports[p].To, ports[p].RevPort, ev.Payload); err != nil {
+						return err
+					}
+					continue
+				}
+				rt.seq++
+				heap.Push(&rt.delayed, delayedMsg{
+					round: at, seq: rt.seq,
+					from: idx, fromPort: p,
+					to: ports[p].To, rev: ports[p].RevPort,
+					msg: ev.Payload,
+				})
+			}
 		}
 	}
+	return nil
+}
+
+// deliverDelayed flushes interceptor-postponed copies scheduled for
+// this round or earlier. Copies whose delivery round passed while the
+// receiver slept (the scheduler never ran that round, or the receiver
+// was not a participant) are lost, like any send to a sleeping node.
+func (rt *runtime) deliverDelayed(round int64, inRound map[int]bool) error {
+	for rt.delayed.Len() > 0 && rt.delayed[0].round <= round {
+		d := heap.Pop(&rt.delayed).(delayedMsg)
+		if d.round < round || !inRound[d.to] {
+			rt.res.MessagesLost++
+			continue
+		}
+		if err := rt.deposit(round, d.from, d.fromPort, d.to, d.rev, d.msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deposit hands one message copy to an awake receiver, enforcing the
+// bit cap on the receive side — the size is re-measured here so that a
+// payload replaced after the send-side check (or a Sizer whose Bits
+// changed) still cannot smuggle an oversized message past CONGEST
+// enforcement.
+func (rt *runtime) deposit(round int64, from, fromPort, to, rev int, msg interface{}) error {
+	bits := MessageBits(msg)
+	if rt.cfg.BitCap > 0 && bits > rt.cfg.BitCap {
+		return fmt.Errorf("sim: node %d received %d-bit message in round %d sent by node %d on port %d, cap %d: %w (%w)",
+			to, bits, round, from, fromPort, rt.cfg.BitCap, ErrBitCap, ErrAborted)
+	}
+	rt.res.MessagesDelivered++
+	rt.res.BitsReceivedPerNode[to] += int64(bits)
+	rcv := rt.nodes[to]
+	if rcv.in == nil {
+		rcv.in = make(Inbox, 2)
+	}
+	rcv.in[rev] = msg
 	return nil
 }
 

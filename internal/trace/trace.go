@@ -13,8 +13,9 @@ import (
 
 // Timeline renders one line per node: the run's [1, Rounds] interval
 // is split into width buckets and a bucket is marked '#' if the node
-// was awake in any of its rounds ('.' otherwise). Requires the run to
-// have been executed with Config.RecordAwakeRounds.
+// was awake in any of its rounds ('.' otherwise). A node crash-stopped
+// by a chaos interceptor renders 'x' from its crash round onward.
+// Requires the run to have been executed with Config.RecordAwakeRounds.
 func Timeline(res *sim.Result, width int) string {
 	if res.AwakeRounds == nil {
 		return "trace: awake rounds were not recorded (set RecordAwakeRounds)\n"
@@ -26,24 +27,53 @@ func Timeline(res *sim.Result, width int) string {
 	if total == 0 {
 		return "trace: empty run\n"
 	}
+	crashed := false
+	for _, cr := range res.CrashRound {
+		if cr > 0 {
+			crashed = true
+			break
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "rounds 1..%d, %d columns (~%d rounds each); '#' = awake\n",
+	fmt.Fprintf(&b, "rounds 1..%d, %d columns (~%d rounds each); '#' = awake",
 		total, width, (total+int64(width)-1)/int64(width))
+	if crashed {
+		b.WriteString(", 'x' = crashed")
+	}
+	b.WriteByte('\n')
 	for v, rounds := range res.AwakeRounds {
 		line := make([]byte, width)
 		for i := range line {
 			line[i] = '.'
 		}
 		for _, r := range rounds {
-			idx := int((r - 1) * int64(width) / total)
-			if idx >= width {
-				idx = width - 1
-			}
+			idx := bucket(r, total, width)
 			line[idx] = '#'
 		}
-		fmt.Fprintf(&b, "node %4d |%s| awake=%d\n", v, line, res.AwakePerNode[v])
+		note := ""
+		if v < len(res.CrashRound) && res.CrashRound[v] > 0 {
+			cr := res.CrashRound[v]
+			for i := bucket(cr, total, width); i < width; i++ {
+				line[i] = 'x'
+			}
+			note = fmt.Sprintf(" crashed@%d", cr)
+		}
+		fmt.Fprintf(&b, "node %4d |%s| awake=%d%s\n", v, line, res.AwakePerNode[v], note)
 	}
 	return b.String()
+}
+
+// bucket maps round r in [1, total] to a column, clamping rounds
+// outside the run (e.g. a crash scheduled past the last busy round).
+func bucket(r, total int64, width int) int {
+	idx := int((r - 1) * int64(width) / total)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= width {
+		idx = width - 1
+	}
+	return idx
 }
 
 // Histogram renders the distribution of per-node awake counts.

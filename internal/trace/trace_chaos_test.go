@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sleepmst/internal/chaos"
+	"sleepmst/internal/core"
+	"sleepmst/internal/graph"
+	"sleepmst/internal/sim"
+)
+
+// chaosResult fabricates a run in which node 1 crashed at round 40 and
+// node 2 crashed before ever waking.
+func chaosResult() *sim.Result {
+	return &sim.Result{
+		Rounds:       100,
+		AwakePerNode: []int64{4, 2, 0},
+		AwakeRounds:  [][]int64{{1, 2, 50, 100}, {1, 2}, {}},
+		CrashRound:   []int64{0, 40, 1},
+	}
+}
+
+func TestTimelineCrashMarkers(t *testing.T) {
+	out := Timeline(chaosResult(), 10)
+	if !strings.Contains(out, "'x' = crashed") {
+		t.Errorf("legend missing crash marker:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	bar := func(row string) string {
+		return row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	}
+	// Node 0 never crashed: no x anywhere.
+	if strings.Contains(lines[1], "x") {
+		t.Errorf("uncrashed node shows x: %q", lines[1])
+	}
+	// Node 1 crashed at round 40 of 100: buckets 3.. are x, awake
+	// marks before that survive.
+	b1 := bar(lines[2])
+	if b1[0] != '#' {
+		t.Errorf("node 1 lost its awake mark: %q", b1)
+	}
+	for i := 3; i < len(b1); i++ {
+		if b1[i] != 'x' {
+			t.Errorf("node 1 bucket %d = %q, want x: %q", i, b1[i], b1)
+		}
+	}
+	if !strings.Contains(lines[2], "crashed@40") {
+		t.Errorf("node 1 line missing crash note: %q", lines[2])
+	}
+	// Node 2 crashed before round 1 with zero awake rounds: full x
+	// line, no panic.
+	b2 := bar(lines[3])
+	if b2 != strings.Repeat("x", len(b2)) {
+		t.Errorf("node 2 bar = %q, want all x", b2)
+	}
+	if !strings.Contains(lines[3], "awake=0") {
+		t.Errorf("node 2 line = %q", lines[3])
+	}
+}
+
+func TestTimelineCrashBeyondLastRound(t *testing.T) {
+	res := &sim.Result{
+		Rounds:       10,
+		AwakePerNode: []int64{1},
+		AwakeRounds:  [][]int64{{1}},
+		CrashRound:   []int64{25}, // scheduled past the run's end
+	}
+	out := Timeline(res, 8)
+	if !strings.Contains(out, "crashed@25") {
+		t.Errorf("missing clamped crash marker:\n%s", out)
+	}
+}
+
+func TestTimelineZeroAwakeWithoutCrash(t *testing.T) {
+	res := &sim.Result{
+		Rounds:       10,
+		AwakePerNode: []int64{0, 1},
+		AwakeRounds:  [][]int64{{}, {3}},
+	}
+	out := Timeline(res, 8) // must not panic
+	if !strings.Contains(out, "awake=0") {
+		t.Errorf("zero-awake node missing:\n%s", out)
+	}
+}
+
+// TestTimelineFromChaosRun drives a real crashed run end to end
+// through the simulator and the renderer.
+func TestTimelineFromChaosRun(t *testing.T) {
+	g := graph.RandomConnected(16, 40, graph.GenConfig{Seed: 3})
+	policy := chaos.New(chaos.Options{Seed: 1, Crash: []chaos.CrashEvent{{Node: 2, Round: 4}}})
+	out, err := core.RunRandomized(g, core.Options{
+		Seed:              1,
+		RecordAwakeRounds: true,
+		Interceptor:       policy,
+	})
+	if err == nil {
+		t.Skip("crash did not prevent convergence on this topology")
+	}
+	if out == nil || out.Result == nil {
+		t.Skip("run failed before producing metrics")
+	}
+	text := Timeline(out.Result, 40)
+	if !strings.Contains(text, "crashed@4") {
+		t.Errorf("timeline missing crash marker:\n%s", text)
+	}
+}

@@ -27,6 +27,7 @@ package sleepmst
 import (
 	"fmt"
 
+	"sleepmst/internal/chaos"
 	"sleepmst/internal/core"
 	"sleepmst/internal/graph"
 	"sleepmst/internal/ldt"
@@ -260,4 +261,79 @@ func AggregateMin(g *Graph, values []int64, opts Options) (*AggregateResult, err
 // O(log n) awake rounds w.h.p.
 func BroadcastFrom(g *Graph, source int, value int64, opts Options) (*AggregateResult, error) {
 	return core.BroadcastFrom(g, source, value, opts)
+}
+
+// Chaos runtime ------------------------------------------------------------
+
+// Interceptor is the simulator's fault-injection hook surface. Set
+// Options.Interceptor to perturb a run; leave it nil for the paper's
+// clean sleeping model.
+type Interceptor = sim.Interceptor
+
+// ChaosOptions configures a seeded fault-injection policy: message
+// drop, bounded delay and duplication, payload bit-flips, crash-stop,
+// and adversarial oversleep.
+type ChaosOptions = chaos.Options
+
+// ChaosPolicy is a deterministic Interceptor built from ChaosOptions.
+// The same policy value replays the same faults on every run.
+type ChaosPolicy = chaos.Policy
+
+// CrashEvent schedules one node's crash-stop round.
+type CrashEvent = chaos.CrashEvent
+
+// Classification is the oracle's verdict for one perturbed run.
+type Classification = chaos.Classification
+
+// Oracle verdicts.
+const (
+	CorrectMST       = chaos.CorrectMST
+	WrongTree        = chaos.WrongTree
+	Disconnected     = chaos.Disconnected
+	Deadlock         = chaos.Deadlock
+	AwakeBudgetBlown = chaos.AwakeBudgetBlown
+)
+
+// NewChaosPolicy builds a deterministic fault-injection policy.
+func NewChaosPolicy(opts ChaosOptions) *ChaosPolicy { return chaos.New(opts) }
+
+// ClassifyRun maps a run's outcome and error to an oracle verdict,
+// comparing any produced tree against the sequential reference MST.
+func ClassifyRun(g *Graph, out *Outcome, err error) Classification {
+	return chaos.Classify(g, out, err)
+}
+
+// Fault names one fault process for a sweep.
+type Fault = chaos.Fault
+
+// Sweepable fault kinds.
+const (
+	FaultDrop      = chaos.FaultDrop
+	FaultDelay     = chaos.FaultDelay
+	FaultDup       = chaos.FaultDup
+	FaultFlip      = chaos.FaultFlip
+	FaultCrash     = chaos.FaultCrash
+	FaultOversleep = chaos.FaultOversleep
+)
+
+// ChaosSweepConfig configures an outcome-frequency sweep; see
+// ChaosSweep.
+type ChaosSweepConfig = chaos.SweepConfig
+
+// ChaosSweepResult holds one sweep's per-(algorithm, rate) cells.
+type ChaosSweepResult = chaos.SweepResult
+
+// ChaosRunners adapts algorithms for ChaosSweepConfig.Runners.
+func ChaosRunners(algos ...Algorithm) []chaos.Runner {
+	rs := make([]chaos.Runner, 0, len(algos))
+	for _, a := range algos {
+		rs = append(rs, chaos.Runner{Name: a.String(), Run: a.Runner()})
+	}
+	return rs
+}
+
+// ChaosSweep runs every configured algorithm against every fault rate
+// and tallies oracle verdicts per cell.
+func ChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
+	return chaos.RunSweep(cfg)
 }
