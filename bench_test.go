@@ -19,6 +19,9 @@ package sleepmst
 import (
 	"fmt"
 	"math"
+	"os"
+	"strconv"
+	"strings"
 	"testing"
 
 	"sleepmst/internal/core"
@@ -30,8 +33,26 @@ import (
 )
 
 // benchSizes are the sweep sizes; kept moderate so the full suite runs
-// in minutes on a laptop.
-var benchSizes = []int{64, 128, 256}
+// in minutes on a laptop. Override with a comma-separated
+// SLEEPMST_BENCH_SIZES (e.g. SLEEPMST_BENCH_SIZES=32,64 for a smoke
+// run, or 512,1024 to probe scaling).
+var benchSizes = benchSizesFromEnv([]int{64, 128, 256})
+
+func benchSizesFromEnv(def []int) []int {
+	raw := os.Getenv("SLEEPMST_BENCH_SIZES")
+	if raw == "" {
+		return def
+	}
+	var sizes []int
+	for _, f := range strings.Split(raw, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			panic(fmt.Sprintf("SLEEPMST_BENCH_SIZES: bad size %q", f))
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
 
 func benchMST(b *testing.B, a Algorithm, n int, reportRounds bool) {
 	b.Helper()

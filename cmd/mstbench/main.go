@@ -11,7 +11,15 @@
 //	-exp thm4    — Theorem 4: awake × rounds trade-off and congestion
 //	               on G_rc, plus the end-to-end SD→MST reduction.
 //	-exp decay   — Lemma 1 / Lemma 5: per-phase fragment decay.
-//	-exp all     — everything.
+//	-exp all     — every experiment above.
+//	-exp bench   — the benchmark-regression suite: wall-clock and
+//	               allocations per run over (algorithm × n × seed),
+//	               written as BENCH_<label>.json; with -compare
+//	               old.json the process exits non-zero on regression.
+//
+// Experiment grids fan out across -workers cores (default GOMAXPROCS)
+// through the internal/sweep engine; aggregates are identical for
+// every worker count.
 package main
 
 import (
@@ -26,14 +34,21 @@ import (
 	"sleepmst/internal/core"
 	"sleepmst/internal/lowerbound"
 	"sleepmst/internal/stats"
+	"sleepmst/internal/sweep"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|thm3|fig1|thm4|decay|all")
-		sizes = flag.String("sizes", "32,64,128,256,512", "comma-separated n values for sweeps")
-		seeds = flag.Int("seeds", 3, "seeds per configuration")
-		degF  = flag.Int("deg", 3, "edge density multiplier (m = deg*n)")
+		exp     = flag.String("exp", "all", "experiment: table1|thm3|fig1|thm4|decay|all|bench")
+		sizes   = flag.String("sizes", "32,64,128,256,512", "comma-separated n values for sweeps")
+		seeds   = flag.Int("seeds", 3, "seeds per configuration")
+		degF    = flag.Int("deg", 3, "edge density multiplier (m = deg*n)")
+		workers = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+
+		label       = flag.String("label", "dev", "label for the -exp bench artifact (BENCH_<label>.json)")
+		jsonOut     = flag.String("json", "", "bench artifact path (default BENCH_<label>.json; implies -exp bench)")
+		compareOld  = flag.String("compare", "", "baseline BENCH_*.json to compare against; exit 1 on regression (implies -exp bench)")
+		compareWith = flag.String("with", "", "compare -compare against this BENCH_*.json instead of running the suite")
 	)
 	flag.Parse()
 
@@ -42,7 +57,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mstbench:", err)
 		os.Exit(1)
 	}
-	h := &harness{ns: ns, seeds: *seeds, deg: *degF}
+	h := &harness{ns: ns, seeds: *seeds, deg: *degF, workers: *workers}
+
+	if *exp == "bench" || *jsonOut != "" || *compareOld != "" {
+		os.Exit(h.benchCommand(*label, *jsonOut, *compareOld, *compareWith))
+	}
 
 	run := map[string]func(){
 		"table1": h.table1,
@@ -78,34 +97,49 @@ func parseSizes(s string) ([]int, error) {
 }
 
 type harness struct {
-	ns    []int
-	seeds int
-	deg   int
+	ns      []int
+	seeds   int
+	deg     int
+	workers int
 }
 
 // sweep runs the algorithm over the size sweep and returns per-size
-// mean awake and rounds.
+// mean awake and rounds. The (size × seed) grid fans out across the
+// worker pool; each job derives its graph and seed from its own grid
+// coordinates, so the means are identical for every worker count.
 func (h *harness) sweep(a sleepmst.Algorithm, maxN int) (ns []int, awake, rounds []float64) {
 	for _, n := range h.ns {
 		if maxN > 0 && n > maxN {
 			continue
 		}
+		ns = append(ns, n)
+	}
+	type metrics struct{ awake, rounds float64 }
+	grid := sweep.NewGrid(len(ns), h.seeds)
+	results, err := sweep.Run(sweep.Config{Workers: h.workers}, grid.Size(), func(idx int) (metrics, error) {
+		c := grid.Coords(idx)
+		n, s := ns[c[0]], c[1]
+		g := sleepmst.RandomConnected(n, h.deg*n, int64(n*1000+s))
+		rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: int64(s)})
+		if err != nil {
+			return metrics{}, fmt.Errorf("%s n=%d seed=%d: %w", a, n, s, err)
+		}
+		if !rep.Verified() {
+			return metrics{}, fmt.Errorf("%s n=%d seed=%d: MST mismatch", a, n, s)
+		}
+		return metrics{awake: float64(rep.AwakeComplexity()), rounds: float64(rep.RoundComplexity())}, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstbench:", err)
+		os.Exit(1)
+	}
+	for i := range ns {
 		var aw, rd float64
 		for s := 0; s < h.seeds; s++ {
-			g := sleepmst.RandomConnected(n, h.deg*n, int64(n*1000+s))
-			rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: int64(s)})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "mstbench: %s n=%d seed=%d: %v\n", a, n, s, err)
-				os.Exit(1)
-			}
-			if !rep.Verified() {
-				fmt.Fprintf(os.Stderr, "mstbench: %s n=%d seed=%d: MST mismatch\n", a, n, s)
-				os.Exit(1)
-			}
-			aw += float64(rep.AwakeComplexity())
-			rd += float64(rep.RoundComplexity())
+			m := results[i*h.seeds+s]
+			aw += m.awake
+			rd += m.rounds
 		}
-		ns = append(ns, n)
 		awake = append(awake, aw/float64(h.seeds))
 		rounds = append(rounds, rd/float64(h.seeds))
 	}

@@ -49,13 +49,14 @@ func main() {
 		chaosAlgos = flag.String("chaos-algos", "randomized,deterministic,baseline", "comma-separated algorithms for -chaos")
 		awakeBud   = flag.Int64("chaos-awakebudget", 0, "per-node awake budget enforced during chaos runs (0 = off)")
 		jsonOut    = flag.String("json", "", "write the chaos sweep as JSON to this file ('-' = stdout)")
+		workers    = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = serial); aggregates are identical either way")
 	)
 	flag.Parse()
 
 	var err error
 	if *chaosFault != "" {
 		err = runChaos(*graphKind, *n, *m, *rows, *radius, *seed, *bitCap,
-			*chaosFault, *rateList, *chaosSeeds, *chaosAlgos, *awakeBud, *jsonOut)
+			*chaosFault, *rateList, *chaosSeeds, *chaosAlgos, *awakeBud, *jsonOut, *workers)
 	} else {
 		err = run(*graphKind, *n, *m, *rows, *radius, *seed, *algoName, *idSpace, *bitCap, *showTrace, *showHist, *width)
 	}
@@ -69,7 +70,7 @@ func main() {
 // cell, chaos-seeds runs are perturbed by the selected fault policy
 // and classified by the oracle.
 func runChaos(graphKind string, n, m, rows int, radius float64, seed int64, bitCap bool,
-	faultName, rateList string, seeds int, algoList string, awakeBudget int64, jsonOut string) error {
+	faultName, rateList string, seeds int, algoList string, awakeBudget int64, jsonOut string, workers int) error {
 	g, err := buildGraph(graphKind, n, m, rows, radius, seed)
 	if err != nil {
 		return err
@@ -106,6 +107,7 @@ func runChaos(graphKind string, n, m, rows int, radius float64, seed int64, bitC
 		Seeds:    seeds,
 		BaseSeed: seed,
 		Opts:     opts,
+		Workers:  workers,
 	})
 	if err != nil {
 		return err

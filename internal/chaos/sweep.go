@@ -8,6 +8,7 @@ import (
 
 	"sleepmst/internal/core"
 	"sleepmst/internal/graph"
+	"sleepmst/internal/sweep"
 )
 
 // Fault names one fault process for a sweep; the sweep varies its rate
@@ -100,6 +101,11 @@ type SweepConfig struct {
 	// AwakeBudget, MaxPhases...); Seed and Interceptor are overwritten
 	// per run.
 	Opts core.Options
+	// Workers is the parallel worker-pool size (see sweep.Config): 0
+	// means GOMAXPROCS, 1 is the serial control. Aggregates are
+	// byte-identical for every value because each run builds its own
+	// seeded policy and results are folded in grid order.
+	Workers int
 }
 
 // Cell aggregates one (algorithm, fault, rate) sweep cell.
@@ -152,8 +158,49 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		Seeds:    cfg.Seeds,
 		BaseSeed: cfg.BaseSeed,
 	}
-	for _, r := range cfg.Runners {
-		for _, rate := range cfg.Rates {
+
+	// Fan the (runner × rate × seed) grid across the worker pool.
+	// Every run is self-contained — its policy, options, and seed are
+	// derived from the grid coordinates — and the fold below walks the
+	// results in grid order, so the aggregate is identical whether the
+	// runs finished in order or not.
+	type runRecord struct {
+		cls        Classification
+		hasMetrics bool
+		maxAwake   float64
+		rounds     float64
+		firstDiv   float64
+	}
+	grid := sweep.NewGrid(len(cfg.Runners), len(cfg.Rates), cfg.Seeds)
+	records, err := sweep.Run(sweep.Config{Workers: cfg.Workers}, grid.Size(), func(idx int) (runRecord, error) {
+		c := grid.Coords(idx)
+		r, rate, seed := cfg.Runners[c[0]], cfg.Rates[c[1]], cfg.BaseSeed+int64(c[2])
+		policy := New(cfg.Fault.PolicyOptions(rate, seed))
+		opts := cfg.Opts
+		opts.Seed = seed
+		opts.Interceptor = policy
+		out, err := r.Run(cfg.Graph, opts)
+		rec := runRecord{cls: Classify(cfg.Graph, out, err)}
+		if out != nil && out.Result != nil {
+			rec.hasMetrics = true
+			rec.maxAwake = float64(out.Result.MaxAwake())
+			rec.rounds = float64(out.Result.Rounds)
+		}
+		if rec.cls != CorrectMST {
+			if out != nil {
+				rec.firstDiv = float64(FirstDivergence(policy, out.Result))
+			} else {
+				rec.firstDiv = float64(policy.FirstFaultRound())
+			}
+		}
+		return rec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for ri, r := range cfg.Runners {
+		for rj, rate := range cfg.Rates {
 			cell := Cell{
 				Algorithm: r.Name,
 				Fault:     cfg.Fault.String(),
@@ -163,27 +210,17 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			var divergenceSum float64
 			var metered int
 			for i := 0; i < cfg.Seeds; i++ {
-				seed := cfg.BaseSeed + int64(i)
-				policy := New(cfg.Fault.PolicyOptions(rate, seed))
-				opts := cfg.Opts
-				opts.Seed = seed
-				opts.Interceptor = policy
-				out, err := r.Run(cfg.Graph, opts)
-				cls := Classify(cfg.Graph, out, err)
+				rec := records[(ri*len(cfg.Rates)+rj)*cfg.Seeds+i]
 				cell.Runs++
-				cell.Counts[cls.String()]++
-				if out != nil && out.Result != nil {
+				cell.Counts[rec.cls.String()]++
+				if rec.hasMetrics {
 					metered++
-					cell.MeanMaxAwake += float64(out.Result.MaxAwake())
-					cell.MeanRounds += float64(out.Result.Rounds)
+					cell.MeanMaxAwake += rec.maxAwake
+					cell.MeanRounds += rec.rounds
 				}
-				if cls != CorrectMST {
+				if rec.cls != CorrectMST {
 					cell.Diverged++
-					if out != nil {
-						divergenceSum += float64(FirstDivergence(policy, out.Result))
-					} else {
-						divergenceSum += float64(policy.FirstFaultRound())
-					}
+					divergenceSum += rec.firstDiv
 				}
 			}
 			if metered > 0 {

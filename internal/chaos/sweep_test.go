@@ -81,6 +81,52 @@ func TestSweepCountsAndTable(t *testing.T) {
 	}
 }
 
+// TestSweepParallelMatchesSerial is the engine-determinism guard: a
+// sweep over 3 algorithms × 8 seeds must produce byte-identical JSON
+// aggregates whether it runs serially or fanned across any number of
+// workers. Run under -race (CI does) this also exercises the worker
+// pool for data races.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	g := testGraph(t, 20)
+	cfg := SweepConfig{
+		Graph: g,
+		Runners: []Runner{
+			{"randomized", core.RunRandomized},
+			{"deterministic", core.RunDeterministic},
+			{"baseline", core.RunBaseline},
+		},
+		Fault:    FaultDrop,
+		Rates:    []float64{0, 0.05},
+		Seeds:    8,
+		BaseSeed: 11,
+	}
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	serial, err := RunSweep(serialCfg)
+	if err != nil {
+		t.Fatalf("serial sweep: %v", err)
+	}
+	want, err := serial.JSON()
+	if err != nil {
+		t.Fatalf("serial json: %v", err)
+	}
+	for _, workers := range []int{0, 2, 3, 16} {
+		parCfg := cfg
+		parCfg.Workers = workers
+		par, err := RunSweep(parCfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := par.JSON()
+		if err != nil {
+			t.Fatalf("workers=%d json: %v", workers, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("workers=%d: aggregates differ from serial path:\n%s\n%s", workers, got, want)
+		}
+	}
+}
+
 func TestSweepJSONRoundTrip(t *testing.T) {
 	g := testGraph(t, 16)
 	res, err := RunSweep(SweepConfig{

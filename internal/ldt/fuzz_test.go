@@ -1,0 +1,148 @@
+package ldt
+
+import (
+	"testing"
+
+	"sleepmst/internal/graph"
+	"sleepmst/internal/sim"
+)
+
+// fuzzByte consumes one byte of fuzz input, defaulting to 0 when the
+// input is exhausted.
+type fuzzBytes struct {
+	data []byte
+	pos  int
+}
+
+func (f *fuzzBytes) next() byte {
+	if f.pos >= len(f.data) {
+		return 0
+	}
+	b := f.data[f.pos]
+	f.pos++
+	return b
+}
+
+// FuzzMergingFragments drives the paper's Merging-Fragments procedure
+// with fuzzer-chosen forests and merge decisions and asserts the LDT
+// well-formedness invariant is preserved: after any legal wave the
+// per-node states still describe a valid labeled-distance forest
+// (Validate) with exactly one fragment per non-merging head.
+func FuzzMergingFragments(f *testing.F) {
+	f.Add(int64(1), []byte{5, 2, 1, 0, 1, 0, 1, 1, 0})
+	f.Add(int64(7), []byte{8, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1})
+	f.Add(int64(42), []byte{3, 1, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		fb := &fuzzBytes{data: data}
+		n := 2 + int(fb.next())%9 // 2..10 nodes
+		m := n - 1 + int(fb.next())%n
+		g := graph.RandomConnected(n, m, graph.GenConfig{Seed: seed})
+
+		// A valid forest: each node either stays a root or hangs off a
+		// lower-indexed neighbor, so the parent relation is acyclic by
+		// construction.
+		parent := make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			parent[v] = -1
+			var candidates []int
+			for _, pt := range g.Ports(v) {
+				if pt.To < v {
+					candidates = append(candidates, pt.To)
+				}
+			}
+			if len(candidates) == 0 {
+				continue
+			}
+			if pick := int(fb.next()) % (len(candidates) + 1); pick > 0 {
+				parent[v] = candidates[pick-1]
+			}
+		}
+		states, err := StatesFromParents(g, parent)
+		if err != nil {
+			t.Fatalf("forest construction: %v", err)
+		}
+
+		// Fuzzer-chosen tails, demoted to heads until every remaining
+		// tail has an outgoing edge into a head fragment (the
+		// procedure's precondition: tails attach to non-merging
+		// fragments).
+		fragOf := make([]int64, g.N())
+		for v, st := range states {
+			fragOf[v] = st.FragID
+		}
+		wantTail := map[int64]bool{}
+		frags := Fragments(states)
+		var fragIDs []int64
+		for id := range frags {
+			fragIDs = append(fragIDs, id)
+		}
+		// Deterministic order for byte consumption.
+		for i := 0; i < len(fragIDs); i++ {
+			for j := i + 1; j < len(fragIDs); j++ {
+				if fragIDs[j] < fragIDs[i] {
+					fragIDs[i], fragIDs[j] = fragIDs[j], fragIDs[i]
+				}
+			}
+		}
+		for _, id := range fragIDs {
+			wantTail[id] = fb.next()%2 == 1
+		}
+		attachNode := map[int64]int{}
+		attachPort := map[int64]int{}
+		for changed := true; changed; {
+			changed = false
+			for _, id := range fragIDs {
+				if !wantTail[id] {
+					continue
+				}
+				// Minimum-key outgoing edge into a head fragment.
+				bestKey := graph.MaxWeightKey
+				bestNode, bestPort := -1, -1
+				for _, v := range frags[id] {
+					for p, pt := range g.Ports(v) {
+						if fragOf[pt.To] == id || wantTail[fragOf[pt.To]] {
+							continue
+						}
+						if k := g.Edge(pt.EdgeIdx).Key(); k.Less(bestKey) {
+							bestKey, bestNode, bestPort = k, v, p
+						}
+					}
+				}
+				if bestNode < 0 {
+					wantTail[id] = false // no head to attach to: demote
+					changed = true
+					continue
+				}
+				attachNode[id], attachPort[id] = bestNode, bestPort
+			}
+		}
+		heads := 0
+		for _, id := range fragIDs {
+			if !wantTail[id] {
+				heads++
+			}
+		}
+
+		_, err = sim.Run(sim.Config{Graph: g, Seed: seed}, func(nd *sim.Node) error {
+			st := states[nd.Index()]
+			dec := NoMerge
+			if wantTail[st.FragID] {
+				dec = MergeDecision{Merging: true, AttachPort: -1}
+				if attachNode[st.FragID] == nd.Index() {
+					dec.AttachPort = attachPort[st.FragID]
+				}
+			}
+			MergingFragments(nd, st, 1, dec)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("merge run: %v", err)
+		}
+		if err := Validate(g, states); err != nil {
+			t.Fatalf("LDT invariant broken after merge: %v", err)
+		}
+		if got := FragmentCount(states); got != heads {
+			t.Fatalf("fragment count %d after merge, want %d heads", got, heads)
+		}
+	})
+}

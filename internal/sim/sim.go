@@ -19,11 +19,9 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"sleepmst/internal/graph"
 )
@@ -269,6 +267,12 @@ type Node struct {
 	out Outbox // staged by Exchange, consumed by the scheduler
 	in  Inbox  // set by the scheduler before resuming
 
+	// Inbox recycling: recycle is the map returned by the previous
+	// Exchange (still owned by the program until the next call); spare
+	// is a cleared map the scheduler may refill via deposit.
+	recycle Inbox
+	spare   Inbox
+
 	resume chan struct{}
 }
 
@@ -326,6 +330,10 @@ func (nd *Node) SleepUntil(r int64) {
 // sends out[port] on each listed port, and receives the messages sent
 // to it this round by awake neighbors. After Exchange returns the node
 // is positioned before round Round()+1. A nil out sends nothing.
+//
+// The returned Inbox is owned by the runtime and valid only until the
+// node's next Exchange call, which recycles it; programs that need a
+// message beyond that must copy it out first.
 func (nd *Node) Exchange(out Outbox) Inbox {
 	if nd.aborted {
 		panic(abortPanic{})
@@ -334,6 +342,14 @@ func (nd *Node) Exchange(out Outbox) Inbox {
 		if p < 0 || p >= nd.Degree() {
 			panic(fmt.Sprintf("sim: node %d sends on invalid port %d (degree %d)", nd.idx, p, nd.Degree()))
 		}
+	}
+	// Reclaim the inbox handed out by the previous Exchange: the
+	// program's lease on it ends here, before the node parks, so the
+	// scheduler can refill it without racing the node goroutine.
+	if nd.recycle != nil {
+		clear(nd.recycle)
+		nd.spare = nd.recycle
+		nd.recycle = nil
 	}
 	nd.out = out
 	nd.rt.park <- parkEvent{idx: nd.idx}
@@ -344,19 +360,25 @@ func (nd *Node) Exchange(out Outbox) Inbox {
 	in := nd.in
 	nd.in = nil
 	nd.out = nil
+	nd.recycle = in
 	return in
 }
 
 // runtime is the scheduler state.
 type runtime struct {
-	cfg     Config
-	maxID   int64
-	nodes   []*Node
-	park    chan parkEvent
-	res     *Result
-	failed  error
+	cfg    Config
+	maxID  int64
+	nodes  []*Node
+	park   chan parkEvent
+	res    *Result
+	failed error
+
 	delayed delayHeap // in-flight messages postponed by the interceptor
 	seq     int64     // FIFO tiebreak for delayed messages
+
+	// awakeStamp[v] == r iff node v participates in round r; replaces
+	// a per-round map (rounds start at 1, so 0 means "never stamped").
+	awakeStamp []int64
 }
 
 // delayedMsg is one interceptor-postponed message copy: it reaches
@@ -371,23 +393,55 @@ type delayedMsg struct {
 	msg      interface{}
 }
 
+// delayHeap is a hand-rolled min-heap ordered by (round, seq). The
+// typed push/pop avoid the interface boxing container/heap would pay
+// per staged message; popped slots keep their backing capacity.
 type delayHeap []delayedMsg
 
-func (h delayHeap) Len() int { return len(h) }
-func (h delayHeap) Less(i, j int) bool {
+func (h delayHeap) less(i, j int) bool {
 	if h[i].round != h[j].round {
 		return h[i].round < h[j].round
 	}
 	return h[i].seq < h[j].seq
 }
-func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *delayHeap) Push(x interface{}) { *h = append(*h, x.(delayedMsg)) }
-func (h *delayHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *delayHeap) push(d delayedMsg) {
+	*h = append(*h, d)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *delayHeap) pop() delayedMsg {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = delayedMsg{} // release the payload reference
+	s = s[:last]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(s) && s.less(l, least) {
+			least = l
+		}
+		if r < len(s) && s.less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
 }
 
 // Run executes prog on every node of the configured graph and returns
@@ -403,10 +457,11 @@ func Run(cfg Config, prog Program) (*Result, error) {
 	}
 	n := cfg.Graph.N()
 	rt := &runtime{
-		cfg:   cfg,
-		maxID: cfg.Graph.MaxID(),
-		nodes: make([]*Node, n),
-		park:  make(chan parkEvent, n),
+		cfg:        cfg,
+		maxID:      cfg.Graph.MaxID(),
+		nodes:      make([]*Node, n),
+		park:       make(chan parkEvent, n),
+		awakeStamp: make([]int64, n),
 		res: &Result{
 			AwakePerNode:        make([]int64, n),
 			HaltRound:           make([]int64, n),
@@ -423,18 +478,20 @@ func Run(cfg Config, prog Program) (*Result, error) {
 	}
 	for i := 0; i < n; i++ {
 		nd := &Node{
-			rt:     rt,
-			idx:    i,
-			rng:    rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*7_919 + 1)),
-			wake:   1,
-			resume: make(chan struct{}),
+			rt:   rt,
+			idx:  i,
+			rng:  rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*7_919 + 1)),
+			wake: 1,
+			// Buffered so the scheduler can release a whole round's
+			// participants without blocking on each handoff.
+			resume: make(chan struct{}, 1),
 		}
 		rt.nodes[i] = nd
 		go rt.runNode(nd, prog)
 	}
 	rt.loop()
 	// Messages still in flight when the run ends never reach anyone.
-	rt.res.MessagesLost += int64(rt.delayed.Len())
+	rt.res.MessagesLost += int64(len(rt.delayed))
 	if rt.failed != nil {
 		return rt.res, rt.failed
 	}
@@ -467,31 +524,65 @@ type wakeEntry struct {
 	idx   int
 }
 
+// wakeHeap is a hand-rolled min-heap ordered by (round, idx); the
+// typed push/pop avoid per-entry interface boxing and the slice keeps
+// its capacity across rounds. Because the order is total, repeated
+// pops for one round yield participants in increasing index order.
 type wakeHeap []wakeEntry
 
-func (h wakeHeap) Len() int { return len(h) }
-func (h wakeHeap) Less(i, j int) bool {
+func (h wakeHeap) less(i, j int) bool {
 	if h[i].round != h[j].round {
 		return h[i].round < h[j].round
 	}
 	return h[i].idx < h[j].idx
 }
-func (h wakeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *wakeHeap) Push(x interface{}) { *h = append(*h, x.(wakeEntry)) }
-func (h *wakeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *wakeHeap) push(e wakeEntry) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *wakeHeap) pop() wakeEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(s) && s.less(l, least) {
+			least = l
+		}
+		if r < len(s) && s.less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
 }
 
 // loop is the lock-step scheduler. Invariant at the top of each
 // iteration: every live node goroutine is parked inside Exchange.
 func (rt *runtime) loop() {
 	live := len(rt.nodes)
-	parked := make(map[int]bool, live)
-	wakes := &wakeHeap{}
+	parked := make([]bool, len(rt.nodes))
+	nParked := 0
+	var wakes wakeHeap
+	var p []int // participants scratch, reused across rounds
 	awaitEvents := live // all goroutines start running
 	for {
 		for i := 0; i < awaitEvents; i++ {
@@ -522,41 +613,32 @@ func (rt *runtime) loop() {
 				}
 			}
 			parked[ev.idx] = true
-			heap.Push(wakes, wakeEntry{round: nd.wake, idx: ev.idx})
+			nParked++
+			wakes.push(wakeEntry{round: nd.wake, idx: ev.idx})
 		}
 		if rt.failed != nil {
-			rt.abort(parked)
-			// Wait for the aborted goroutines to unwind.
-			for range parked {
-				<-rt.park
-			}
+			rt.drain(parked, nParked)
 			return
 		}
 		if live == 0 {
 			return
 		}
 		// Next busy round: minimum wake among parked nodes.
-		round := (*wakes)[0].round
+		round := wakes[0].round
 		if round > rt.cfg.MaxRounds {
 			rt.failed = fmt.Errorf("sim: round %d exceeds cap %d: %w (%w)", round, rt.cfg.MaxRounds, ErrRoundCap, ErrAborted)
-			rt.abort(parked)
-			for range parked {
-				<-rt.park
-			}
+			rt.drain(parked, nParked)
 			return
 		}
-		// Participants of this round, in deterministic order.
-		var p []int
-		for wakes.Len() > 0 && (*wakes)[0].round == round {
-			p = append(p, heap.Pop(wakes).(wakeEntry).idx)
+		// Participants of this round; heap pops with equal rounds come
+		// out in increasing index order, so p is already sorted.
+		p = p[:0]
+		for len(wakes) > 0 && wakes[0].round == round {
+			p = append(p, wakes.pop().idx)
 		}
-		sort.Ints(p)
 		if err := rt.deliver(round, p); err != nil {
 			rt.failed = err
-			rt.abort(parked)
-			for range parked {
-				<-rt.park
-			}
+			rt.drain(parked, nParked)
 			return
 		}
 		rt.res.BusyRounds++
@@ -576,10 +658,22 @@ func (rt *runtime) loop() {
 				rt.res.AwakeRounds[idx] = append(rt.res.AwakeRounds[idx], round)
 			}
 			nd.wake = round + 1
-			delete(parked, idx)
+			parked[idx] = false
+			nParked--
+			// The resume channels are buffered, so the whole batch is
+			// released without a scheduler<->node context switch each.
 			nd.resume <- struct{}{}
 		}
 		awaitEvents = len(p)
+	}
+}
+
+// drain aborts all parked nodes and waits for their goroutines (and
+// only theirs) to unwind.
+func (rt *runtime) drain(parked []bool, nParked int) {
+	rt.abort(parked)
+	for i := 0; i < nParked; i++ {
+		<-rt.park
 	}
 }
 
@@ -590,17 +684,13 @@ func (rt *runtime) loop() {
 // so a fresh message overwrites a stale replay arriving on the same
 // port in the same round.
 func (rt *runtime) deliver(round int64, participants []int) error {
-	inRound := make(map[int]bool, len(participants))
 	for _, idx := range participants {
-		inRound[idx] = true
-	}
-	for _, idx := range participants {
-		nd := rt.nodes[idx]
-		nd.in = nil
+		rt.awakeStamp[idx] = round
+		rt.nodes[idx].in = nil
 	}
 	itc := rt.cfg.Interceptor
 	if itc != nil {
-		if err := rt.deliverDelayed(round, inRound); err != nil {
+		if err := rt.deliverDelayed(round); err != nil {
 			return err
 		}
 	}
@@ -617,7 +707,7 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 				rt.res.MessagesSent++
 				rt.res.MessagesSentPerNode[idx]++
 				rt.res.BitsSent += int64(bits)
-				if !inRound[ports[p].To] {
+				if rt.awakeStamp[ports[p].To] != round {
 					rt.res.MessagesLost++
 					continue
 				}
@@ -666,7 +756,7 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 				}
 				at := round + ev.Delay + int64(c)
 				if at == round {
-					if !inRound[ports[p].To] {
+					if rt.awakeStamp[ports[p].To] != round {
 						rt.res.MessagesLost++
 						continue
 					}
@@ -676,7 +766,7 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 					continue
 				}
 				rt.seq++
-				heap.Push(&rt.delayed, delayedMsg{
+				rt.delayed.push(delayedMsg{
 					round: at, seq: rt.seq,
 					from: idx, fromPort: p,
 					to: ports[p].To, rev: ports[p].RevPort,
@@ -692,10 +782,10 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 // this round or earlier. Copies whose delivery round passed while the
 // receiver slept (the scheduler never ran that round, or the receiver
 // was not a participant) are lost, like any send to a sleeping node.
-func (rt *runtime) deliverDelayed(round int64, inRound map[int]bool) error {
-	for rt.delayed.Len() > 0 && rt.delayed[0].round <= round {
-		d := heap.Pop(&rt.delayed).(delayedMsg)
-		if d.round < round || !inRound[d.to] {
+func (rt *runtime) deliverDelayed(round int64) error {
+	for len(rt.delayed) > 0 && rt.delayed[0].round <= round {
+		d := rt.delayed.pop()
+		if d.round < round || rt.awakeStamp[d.to] != round {
 			rt.res.MessagesLost++
 			continue
 		}
@@ -721,7 +811,12 @@ func (rt *runtime) deposit(round int64, from, fromPort, to, rev int, msg interfa
 	rt.res.BitsReceivedPerNode[to] += int64(bits)
 	rcv := rt.nodes[to]
 	if rcv.in == nil {
-		rcv.in = make(Inbox, 2)
+		if rcv.spare != nil {
+			rcv.in = rcv.spare
+			rcv.spare = nil
+		} else {
+			rcv.in = make(Inbox, 2)
+		}
 	}
 	rcv.in[rev] = msg
 	return nil
@@ -729,8 +824,11 @@ func (rt *runtime) deposit(round int64, from, fromPort, to, rev int, msg interfa
 
 // abort marks all parked nodes aborted and resumes them so their
 // goroutines unwind via the abort sentinel.
-func (rt *runtime) abort(parked map[int]bool) {
-	for idx := range parked {
+func (rt *runtime) abort(parked []bool) {
+	for idx, isParked := range parked {
+		if !isParked {
+			continue
+		}
 		nd := rt.nodes[idx]
 		nd.aborted = true
 		nd.resume <- struct{}{}

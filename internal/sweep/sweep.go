@@ -1,0 +1,138 @@
+// Package sweep is the parallel experiment engine: it fans an
+// experiment grid (algorithm × graph × seed, or any indexed job list)
+// across a bounded worker pool and returns the per-job results in grid
+// order, so aggregation is deterministic and independent of the order
+// in which workers happen to finish.
+//
+// Every consumer of a grid in this repository — cmd/mstbench's size
+// sweeps, cmd/sleepsim's and internal/chaos's fault sweeps, and the
+// benchmark-regression harness — runs on top of Run/Map. Jobs must be
+// self-contained: each derives its graph and randomness from its own
+// grid coordinates (never from shared sequential RNG state), which is
+// what makes the parallel path produce byte-identical aggregates to
+// the serial one.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Workers is the worker-pool size. 0 or negative means
+	// GOMAXPROCS; 1 degenerates to the serial path (no goroutines,
+	// useful as the determinism control).
+	Workers int
+}
+
+// workers resolves Config.Workers.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes fn(i) for every i in [0, n) across the worker pool and
+// returns the results indexed by i. Completion order never leaks into
+// the output: results land in their own slots and errors are reported
+// for the lowest failing index, exactly as the serial loop would
+// surface them. On error the returned slice still holds every
+// completed result (failed or not-run slots are zero values).
+func Run[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	errs := make([]error, n)
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Serial fast path: run in index order, stop at the first
+		// error like a plain loop.
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			results[i] = r
+			if err != nil {
+				return results, fmt.Errorf("sweep: job %d: %w", i, err)
+			}
+		}
+		return results, nil
+	}
+	jobs := make(chan int)
+	done := make(chan struct{})
+	for g := 0; g < w; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range jobs {
+				r, err := fn(i)
+				results[i] = r
+				errs[i] = err
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	for g := 0; g < w; g++ {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("sweep: job %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Map is Run over an explicit job slice: fn is applied to every job
+// and the results come back in job order.
+func Map[J, T any](cfg Config, jobs []J, fn func(job J) (T, error)) ([]T, error) {
+	return Run(cfg, len(jobs), func(i int) (T, error) { return fn(jobs[i]) })
+}
+
+// Grid indexes the cartesian product of named dimensions, flattening a
+// multi-dimensional experiment grid into the [0, Size()) job indices
+// Run wants. The last dimension varies fastest, matching the nested
+// loops it replaces.
+type Grid struct {
+	dims []int
+}
+
+// NewGrid builds a grid from dimension sizes. Panics on a
+// non-positive dimension (an empty grid is a caller bug, not a
+// runtime condition).
+func NewGrid(dims ...int) Grid {
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("sweep: non-positive grid dimension in %v", dims))
+		}
+	}
+	return Grid{dims: append([]int(nil), dims...)}
+}
+
+// Size returns the number of cells in the grid.
+func (g Grid) Size() int {
+	s := 1
+	for _, d := range g.dims {
+		s *= d
+	}
+	return s
+}
+
+// Coords maps a flat job index back to its per-dimension coordinates.
+func (g Grid) Coords(idx int) []int {
+	if idx < 0 || idx >= g.Size() {
+		panic(fmt.Sprintf("sweep: index %d outside grid of size %d", idx, g.Size()))
+	}
+	out := make([]int, len(g.dims))
+	for i := len(g.dims) - 1; i >= 0; i-- {
+		out[i] = idx % g.dims[i]
+		idx /= g.dims[i]
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunReturnsResultsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Run(Config{Workers: workers}, 50, func(i int) (int, error) {
+			// Finish out of order on purpose: later jobs are faster.
+			time.Sleep(time.Duration(50-i) * 10 * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunReportsLowestFailingIndex(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Run(Config{Workers: workers}, 20, func(i int) (int, error) {
+			if i == 7 || i == 13 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		want := "sweep: job 7:"
+		if err == nil || len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+			t.Errorf("workers=%d: err = %v, want prefix %q", workers, err, want)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	_, err := Run(Config{Workers: workers}, 40, func(i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestRunEmptyAndMap(t *testing.T) {
+	got, err := Run(Config{}, 0, func(i int) (int, error) { t.Fatal("must not run"); return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty run: %v %v", got, err)
+	}
+	squares, err := Map(Config{Workers: 2}, []int{3, 4, 5}, func(j int) (int, error) { return j * j, nil })
+	if err != nil || !reflect.DeepEqual(squares, []int{9, 16, 25}) {
+		t.Fatalf("map: %v %v", squares, err)
+	}
+}
+
+func TestGridCoords(t *testing.T) {
+	g := NewGrid(2, 3, 4)
+	if g.Size() != 24 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	// Last dimension varies fastest, like the nested loops it replaces.
+	seen := map[string]bool{}
+	prev := []int{0, 0, -1}
+	for i := 0; i < g.Size(); i++ {
+		c := g.Coords(i)
+		key := fmt.Sprint(c)
+		if seen[key] {
+			t.Fatalf("duplicate coords %v", c)
+		}
+		seen[key] = true
+		if i > 0 && c[2] == 0 && !(prev[2] == 3) {
+			t.Fatalf("index %d: last dim wrapped from %v to %v", i, prev, c)
+		}
+		prev = c
+	}
+	if got := g.Coords(5); !reflect.DeepEqual(got, []int{0, 1, 1}) {
+		t.Errorf("Coords(5) = %v, want [0 1 1]", got)
+	}
+	mustPanic(t, func() { g.Coords(24) })
+	mustPanic(t, func() { NewGrid(3, 0) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	f()
+}
