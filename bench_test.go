@@ -18,6 +18,7 @@ package sleepmst
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -345,4 +346,43 @@ func BenchmarkClassicGHS(b *testing.B) {
 			b.ReportMetric(rounds/float64(b.N)/(float64(n)*logn), "rounds/nlog2n")
 		})
 	}
+}
+
+// BenchmarkRecorderOverhead measures the cost of the observability
+// layer on a real algorithm run (Randomized-MST, n = 256): recording
+// off (the zero-cost contract), metrics only, and full event
+// recording with JSONL serialization. E18 quotes these numbers.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	g := RandomConnected(256, 768, 9)
+	run := func(b *testing.B, opts func(i int) Options) {
+		for i := 0; i < b.N; i++ {
+			rep, err := Run(Randomized, g, opts(i))
+			if err != nil {
+				b.Fatalf("run: %v", err)
+			}
+			if !rep.Verified() {
+				b.Fatal("MST not verified")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, func(i int) Options { return Options{Seed: int64(i)} })
+	})
+	b.Run("metrics", func(b *testing.B) {
+		run(b, func(i int) Options { return Options{Seed: int64(i), Metrics: NewMetricsRegistry()} })
+	})
+	b.Run("trace", func(b *testing.B) {
+		run(b, func(i int) Options { return Options{Seed: int64(i), Trace: NewTraceRecorder(0)} })
+	})
+	b.Run("trace+jsonl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := NewTraceRecorder(0)
+			if _, err := Run(Randomized, g, Options{Seed: int64(i), Trace: rec}); err != nil {
+				b.Fatalf("run: %v", err)
+			}
+			if err := rec.WriteJSONL(io.Discard); err != nil {
+				b.Fatalf("write: %v", err)
+			}
+		}
+	})
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDirFlagsUndocumentedSymbols(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "x.go", `package x
+
+type Bad struct{}
+
+func (Bad) BadMethod() {}
+
+func BadFunc() {}
+
+const BadConst = 1
+
+// Good is documented.
+type Good struct{}
+
+// GoodMethod is documented.
+func (Good) GoodMethod() {}
+
+// Grouped constants share the block doc.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+type unexported struct{}
+
+func (unexported) MethodOnUnexported() {}
+`)
+	missing, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(missing, "\n")
+	for _, want := range []string{"type Bad", "method BadMethod", "function BadFunc", "const BadConst"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	for _, bad := range []string{"Good", "Grouped", "MethodOnUnexported"} {
+		if strings.Contains(got, bad) {
+			t.Errorf("false positive %q in:\n%s", bad, got)
+		}
+	}
+	if len(missing) != 4 {
+		t.Errorf("got %d findings, want 4:\n%s", len(missing), got)
+	}
+}
+
+func TestCheckDirSkipsTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "x_test.go", "package x\n\nfunc Undocumented() {}\n")
+	missing, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("test files must be skipped, got %v", missing)
+	}
+}
+
+func TestAuditedPackagesAreClean(t *testing.T) {
+	for _, dir := range auditedDirs {
+		missing, err := checkDir(filepath.Join("..", "..", dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(missing) != 0 {
+			t.Errorf("%s: %v", dir, missing)
+		}
+	}
+}

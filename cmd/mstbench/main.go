@@ -16,6 +16,14 @@
 //	               allocations per run over (algorithm × n × seed),
 //	               written as BENCH_<label>.json; with -compare
 //	               old.json the process exits non-zero on regression.
+//	-exp trace   — per-phase awake-budget breakdown from a structured
+//	               event trace: run each -trace-algos algorithm with
+//	               the recorder on (optionally writing the JSONL to
+//	               -trace-out), or summarize an existing trace given
+//	               with -trace-in.
+//
+// -pprof <prefix> writes CPU and heap profiles of whatever the
+// invocation runs.
 //
 // Experiment grids fan out across -workers cores (default GOMAXPROCS)
 // through the internal/sweep engine; aggregates are identical for
@@ -33,13 +41,15 @@ import (
 	"sleepmst"
 	"sleepmst/internal/core"
 	"sleepmst/internal/lowerbound"
+	"sleepmst/internal/prof"
 	"sleepmst/internal/stats"
 	"sleepmst/internal/sweep"
+	"sleepmst/internal/trace"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|thm3|fig1|thm4|decay|all|bench")
+		exp     = flag.String("exp", "all", "experiment: table1|thm3|fig1|thm4|decay|all|bench|trace")
 		sizes   = flag.String("sizes", "32,64,128,256,512", "comma-separated n values for sweeps")
 		seeds   = flag.Int("seeds", 3, "seeds per configuration")
 		degF    = flag.Int("deg", 3, "edge density multiplier (m = deg*n)")
@@ -49,6 +59,12 @@ func main() {
 		jsonOut     = flag.String("json", "", "bench artifact path (default BENCH_<label>.json; implies -exp bench)")
 		compareOld  = flag.String("compare", "", "baseline BENCH_*.json to compare against; exit 1 on regression (implies -exp bench)")
 		compareWith = flag.String("with", "", "compare -compare against this BENCH_*.json instead of running the suite")
+
+		pprofOut   = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
+		traceAlgos = flag.String("trace-algos", "randomized,deterministic", "comma-separated algorithms for -exp trace")
+		traceOut   = flag.String("trace-out", "", "write -exp trace JSONL traces to this path (multi-algo: '.<algo>' inserted)")
+		traceIn    = flag.String("trace-in", "", "summarize this JSONL trace instead of running (implies -exp trace)")
+		traceCap   = flag.Int("trace-cap", 0, "recorder event capacity for -exp trace (0 = default; overflow drops oldest events)")
 	)
 	flag.Parse()
 
@@ -59,8 +75,26 @@ func main() {
 	}
 	h := &harness{ns: ns, seeds: *seeds, deg: *degF, workers: *workers}
 
+	stopProf, err := prof.Start(*pprofOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstbench:", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
+
+	if *exp == "trace" || *traceIn != "" {
+		exit(h.traceCommand(*traceAlgos, *traceIn, *traceOut, *traceCap))
+	}
 	if *exp == "bench" || *jsonOut != "" || *compareOld != "" {
-		os.Exit(h.benchCommand(*label, *jsonOut, *compareOld, *compareWith))
+		exit(h.benchCommand(*label, *jsonOut, *compareOld, *compareWith))
 	}
 
 	run := map[string]func(){
@@ -74,14 +108,107 @@ func main() {
 		for _, name := range []string{"table1", "decay", "thm3", "fig1", "thm4"} {
 			run[name]()
 		}
-		return
+		exit(0)
 	}
 	f, ok := run[*exp]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "mstbench: unknown experiment %q\n", *exp)
-		os.Exit(1)
+		exit(1)
 	}
 	f()
+	exit(0)
+}
+
+// traceCommand implements -exp trace. With traceIn it summarizes an
+// existing JSONL trace; otherwise it runs every listed algorithm at
+// the largest -sizes value with the event recorder on and prints each
+// run's per-phase awake-budget table. traceCap sizes the recorder
+// rings (0 = trace.DefaultCapacity); when a big run overflows them the
+// table's scheduler-charged line undercounts, so raise the cap until
+// dropped=0 for budget-accounting runs.
+func (h *harness) traceCommand(algoList, traceIn, traceOut string, traceCap int) int {
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			return 1
+		}
+		meta, events, err := trace.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			return 1
+		}
+		fmt.Printf("=== trace summary: %s ===\n", traceIn)
+		fmt.Print(trace.Summarize(meta, events).Table())
+		return 0
+	}
+	var algos []sleepmst.Algorithm
+	for _, name := range strings.Split(algoList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, err := sleepmst.ParseAlgorithm(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			return 1
+		}
+		algos = append(algos, a)
+	}
+	n := h.ns[len(h.ns)-1]
+	fmt.Println("=== per-phase awake budget (structured event trace) ===")
+	for _, a := range algos {
+		g := sleepmst.RandomConnected(n, h.deg*n, int64(n*1000))
+		rec := sleepmst.NewTraceRecorder(traceCap)
+		rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: 1, Trace: rec})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			return 1
+		}
+		if !rep.Verified() {
+			fmt.Fprintf(os.Stderr, "mstbench: %s n=%d: MST mismatch\n", a, n)
+			return 1
+		}
+		fmt.Printf("--- %s (n=%d) ---\n", a, n)
+		fmt.Print(trace.Summarize(rec.Meta(), rec.Events()).Table())
+		fmt.Println()
+		if traceOut == "" {
+			continue
+		}
+		path := traceOut
+		if len(algos) > 1 {
+			path = algoTracePath(traceOut, a.String())
+		}
+		if err := writeTraceFile(rec, path); err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
+	return 0
+}
+
+// algoTracePath inserts the algorithm name before the extension:
+// out.jsonl -> out.randomized.jsonl.
+func algoTracePath(path, algo string) string {
+	if base, ok := strings.CutSuffix(path, ".jsonl"); ok {
+		return base + "." + algo + ".jsonl"
+	}
+	return path + "." + algo
+}
+
+// writeTraceFile serializes a recorded trace as JSONL.
+func writeTraceFile(rec *sleepmst.TraceRecorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -5,11 +5,18 @@
 // each perturbed by a seeded chaos policy and classified by the
 // outcome oracle.
 //
+// Observability: -trace-out records the run as a structured JSONL
+// event trace (schema in DESIGN.md §8), -metrics prints the metrics
+// registry (awake rounds per phase/step, MOE probes, merge waves,
+// message tallies), and -pprof writes CPU and heap profiles.
+//
 // Examples:
 //
 //	sleepsim -graph random -n 256 -m 768 -algo randomized
 //	sleepsim -graph ring -n 128 -algo deterministic -trace
 //	sleepsim -graph sensor -n 200 -radius 0.15 -algo logstar -hist
+//	sleepsim -n 64 -algo randomized -trace-out run.jsonl -metrics
+//	sleepsim -n 1024 -algo deterministic -pprof det1024
 //	sleepsim -chaos drop -rate 0.01 -n 256
 //	sleepsim -chaos crash -rate 0,0.05,0.1 -chaos-seeds 10 -json sweep.json
 package main
@@ -24,7 +31,8 @@ import (
 	"sleepmst"
 	"sleepmst/internal/chaos"
 	"sleepmst/internal/core"
-	"sleepmst/internal/sim"
+	"sleepmst/internal/metrics"
+	"sleepmst/internal/prof"
 	"sleepmst/internal/trace"
 )
 
@@ -43,6 +51,11 @@ func main() {
 		showHist  = flag.Bool("hist", false, "print the awake-count histogram")
 		width     = flag.Int("width", 72, "trace width in columns")
 
+		traceOut    = flag.String("trace-out", "", "write the structured JSONL event trace to this file ('-' = stdout)")
+		traceCap    = flag.Int("trace-cap", 0, "event-recorder ring capacity (0 = default)")
+		showMetrics = flag.Bool("metrics", false, "print the metrics registry after the run")
+		pprofOut    = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
+
 		chaosFault = flag.String("chaos", "", "chaos sweep fault kind: drop|delay|dup|flip|crash|oversleep (empty = single clean run)")
 		rateList   = flag.String("rate", "0,0.01,0.05", "comma-separated fault rates for -chaos (crash: fraction of nodes)")
 		chaosSeeds = flag.Int("chaos-seeds", 5, "runs per (algorithm, rate) cell for -chaos")
@@ -53,12 +66,24 @@ func main() {
 	)
 	flag.Parse()
 
-	var err error
+	stopProf, err := prof.Start(*pprofOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sleepsim:", err)
+		os.Exit(1)
+	}
 	if *chaosFault != "" {
 		err = runChaos(*graphKind, *n, *m, *rows, *radius, *seed, *bitCap,
 			*chaosFault, *rateList, *chaosSeeds, *chaosAlgos, *awakeBud, *jsonOut, *workers)
 	} else {
-		err = run(*graphKind, *n, *m, *rows, *radius, *seed, *algoName, *idSpace, *bitCap, *showTrace, *showHist, *width)
+		err = run(runOpts{
+			graphKind: *graphKind, n: *n, m: *m, rows: *rows, radius: *radius,
+			seed: *seed, algoName: *algoName, idSpace: *idSpace, bitCap: *bitCap,
+			showTrace: *showTrace, showHist: *showHist, width: *width,
+			traceOut: *traceOut, traceCap: *traceCap, showMetrics: *showMetrics,
+		})
+	}
+	if err == nil {
+		err = stopProf()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sleepsim:", err)
@@ -156,33 +181,58 @@ func parseRates(s string) ([]float64, error) {
 	return rates, nil
 }
 
-func run(graphKind string, n, m, rows int, radius float64, seed int64, algoName string,
-	idSpace int64, bitCap, showTrace, showHist bool, width int) error {
-	g, err := buildGraph(graphKind, n, m, rows, radius, seed)
+// runOpts bundles the single-run CLI parameters.
+type runOpts struct {
+	graphKind           string
+	n, m, rows          int
+	radius              float64
+	seed                int64
+	algoName            string
+	idSpace             int64
+	bitCap              bool
+	showTrace, showHist bool
+	width               int
+	traceOut            string // JSONL event-trace destination ('' = off)
+	traceCap            int    // recorder ring capacity (0 = default)
+	showMetrics         bool
+}
+
+func run(o runOpts) error {
+	g, err := buildGraph(o.graphKind, o.n, o.m, o.rows, o.radius, o.seed)
 	if err != nil {
 		return err
 	}
-	if idSpace > 0 {
-		sleepmst.WithRandomIDs(g, idSpace, seed+1)
+	if o.idSpace > 0 {
+		sleepmst.WithRandomIDs(g, o.idSpace, o.seed+1)
 	}
-	algo, err := sleepmst.ParseAlgorithm(algoName)
+	algo, err := sleepmst.ParseAlgorithm(o.algoName)
 	if err != nil {
 		return err
 	}
 	opts := sleepmst.Options{
-		Seed:              seed,
-		RecordAwakeRounds: showTrace,
+		Seed:              o.seed,
+		RecordAwakeRounds: o.showTrace,
 		RecordPhases:      true,
 	}
-	if bitCap {
+	if o.bitCap {
 		opts.BitCap = core.DefaultBitCap(g)
+	}
+	var rec *trace.Recorder
+	if o.traceOut != "" {
+		rec = trace.NewRecorder(o.traceCap)
+		opts.Trace = rec
+	}
+	var reg *metrics.Registry
+	if o.showMetrics {
+		reg = metrics.New()
+		opts.Metrics = reg
 	}
 	rep, err := sleepmst.Run(algo, g, opts)
 	if err != nil {
 		return err
 	}
 	res := rep.Result
-	fmt.Printf("graph          : %s n=%d m=%d maxID=%d\n", graphKind, g.N(), g.M(), g.MaxID())
+	fmt.Printf("graph          : %s n=%d m=%d maxID=%d\n", o.graphKind, g.N(), g.M(), g.MaxID())
 	fmt.Printf("algorithm      : %s\n", algo)
 	fmt.Printf("phases         : %d\n", rep.Phases)
 	fmt.Printf("awake max/avg  : %d / %.2f\n", res.MaxAwake(), res.MeanAwake())
@@ -194,29 +244,48 @@ func run(graphKind string, n, m, rows int, radius float64, seed int64, algoName 
 	if len(rep.FragmentsPerPhase) > 0 {
 		fmt.Printf("fragment decay : %v\n", rep.FragmentsPerPhase)
 	}
-	if showHist {
+	if o.showHist {
 		fmt.Println()
-		fmt.Print(trace.Histogram(res, 50))
+		fmt.Print(trace.Histogram(res.TraceView(), 50))
 	}
-	if showTrace {
+	if o.showTrace {
 		fmt.Println()
-		fmt.Print(traceOut(res, width, g.N()))
+		v := res.TraceView()
+		if g.N() > 64 {
+			fmt.Printf("(showing first 64 of %d nodes)\n", g.N())
+			v = v.Clip(64)
+		}
+		fmt.Print(trace.Timeline(v, o.width))
+	}
+	if reg != nil {
+		fmt.Println()
+		fmt.Print(reg.String())
+	}
+	if rec != nil {
+		if err := writeTrace(rec, o.traceOut); err != nil {
+			return err
+		}
+		meta := rec.Meta()
+		fmt.Printf("trace          : %d events (%d dropped) -> %s\n", meta.Events, meta.Dropped, o.traceOut)
 	}
 	return nil
 }
 
-func traceOut(res *sim.Result, width, n int) string {
-	if n > 64 {
-		fmt.Printf("(showing first 64 of %d nodes)\n", n)
-		clipped := *res
-		clipped.AwakeRounds = res.AwakeRounds[:64]
-		clipped.AwakePerNode = res.AwakePerNode[:64]
-		if len(clipped.CrashRound) > 64 {
-			clipped.CrashRound = res.CrashRound[:64]
-		}
-		return trace.Timeline(&clipped, width)
+// writeTrace serializes the recorded events as JSONL to path ('-' =
+// stdout).
+func writeTrace(rec *trace.Recorder, path string) error {
+	if path == "-" {
+		return rec.WriteJSONL(os.Stdout)
 	}
-	return trace.Timeline(res, width)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildGraph(kind string, n, m, rows int, radius float64, seed int64) (*sleepmst.Graph, error) {

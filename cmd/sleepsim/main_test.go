@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestBuildGraphKinds(t *testing.T) {
 	cases := []struct {
@@ -52,13 +57,32 @@ func TestIntSqrt(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	// The whole CLI path minus flag parsing.
-	if err := run("ring", 16, 0, 0, 0, 3, "randomized", 0, true, false, false, 40); err != nil {
+	if err := run(runOpts{graphKind: "ring", n: 16, seed: 3, algoName: "randomized", bitCap: true, width: 40}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("path", 8, 0, 0, 0, 3, "deterministic", 32, false, true, true, 40); err != nil {
+	if err := run(runOpts{graphKind: "path", n: 8, seed: 3, algoName: "deterministic", idSpace: 32,
+		showTrace: true, showHist: true, width: 40}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("ring", 8, 0, 0, 0, 3, "unknown-algo", 0, false, false, false, 40); err == nil {
+	if err := run(runOpts{graphKind: "ring", n: 8, seed: 3, algoName: "unknown-algo", width: 40}); err == nil {
 		t.Fatal("want error for unknown algorithm")
+	}
+}
+
+func TestRunWithObservability(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := run(runOpts{graphKind: "ring", n: 12, seed: 5, algoName: "randomized",
+		traceOut: out, showMetrics: true, width: 40}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	if !strings.HasPrefix(string(b), `{"k":"begin"`) {
+		t.Errorf("trace does not start with a begin line: %.60s", b)
+	}
+	if !strings.Contains(string(b), `"k":"end"`) {
+		t.Error("trace has no end line")
 	}
 }

@@ -3,17 +3,20 @@
 // heads fragment re-roots itself at the MOE node and hangs below the
 // heads fragment; the trace shows the labeled-distance-tree state
 // before and after, the exact transmission-schedule rounds each node
-// used, and the awake cost.
+// used, the structured event trace of the merge (the JSONL schema of
+// DESIGN.md §8, pretty-printed per event), and the awake cost.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"sleepmst/internal/graph"
 	"sleepmst/internal/ldt"
 	"sleepmst/internal/sim"
+	"sleepmst/internal/trace"
 )
 
 func main() {
@@ -36,7 +39,8 @@ func main() {
 	printForest(g, states)
 
 	moePort := portTo(g, 4, 1)
-	res, err := sim.Run(sim.Config{Graph: g, Seed: 1, RecordAwakeRounds: true}, func(nd *sim.Node) error {
+	rec := trace.NewRecorder(0)
+	res, err := sim.Run(sim.Config{Graph: g, Seed: 1, RecordAwakeRounds: true, Trace: rec}, func(nd *sim.Node) error {
 		st := states[nd.Index()]
 		dec := ldt.NoMerge
 		if st.FragID == g.ID(2) { // every tails-fragment node
@@ -68,6 +72,18 @@ func main() {
 	}
 	fmt.Println()
 
+	fmt.Println("structured event trace (one line per event; kinds: awake, send,")
+	fmt.Println("deliver, merge, sleep — the raw JSONL schema is in DESIGN.md §8):")
+	for _, ev := range rec.Events() {
+		fmt.Printf("  %s\n", describe(ev))
+	}
+	fmt.Println()
+	fmt.Println("the same trace as JSONL (what -trace-out writes):")
+	if err := rec.WriteJSONL(os.Stdout); err != nil {
+		log.Fatalf("mergetrace: %v", err)
+	}
+	fmt.Println()
+
 	fmt.Println("Figure 5 — final configuration (single LDT rooted at node 0):")
 	printForest(g, states)
 
@@ -75,6 +91,26 @@ func main() {
 		log.Fatalf("mergetrace: invariant: %v", err)
 	}
 	fmt.Printf("LDT invariant verified; awake complexity of the merge: %d rounds (<= 5)\n", res.MaxAwake())
+}
+
+// describe renders one trace event as a human-readable line.
+func describe(ev trace.Event) string {
+	switch ev.Kind {
+	case trace.KindAwake:
+		return fmt.Sprintf("r%-3d node %d awake", ev.Round, ev.Node)
+	case trace.KindSend:
+		return fmt.Sprintf("r%-3d node %d sends on port %d to node %d", ev.Round, ev.Node, ev.Port, ev.Peer)
+	case trace.KindDeliver:
+		return fmt.Sprintf("r%-3d node %d receives on port %d from node %d", ev.Round, ev.Node, ev.Port, ev.Peer)
+	case trace.KindLost:
+		return fmt.Sprintf("r%-3d node %d -> node %d lost (receiver asleep)", ev.Round, ev.Node, ev.Peer)
+	case trace.KindMerge:
+		return fmt.Sprintf("r%-3d node %d joins fragment %d (was %d)", ev.Round, ev.Node, ev.Frag, ev.Prev)
+	case trace.KindSleep:
+		return fmt.Sprintf("r%-3d node %d wakes (slept since r%d)", ev.Round, ev.Node, ev.Aux)
+	default:
+		return fmt.Sprintf("r%-3d node %d %s", ev.Round, ev.Node, ev.Kind)
+	}
 }
 
 func printForest(g *graph.Graph, states []*ldt.State) {

@@ -24,7 +24,9 @@ import (
 
 	"sleepmst/internal/graph"
 	"sleepmst/internal/ldt"
+	"sleepmst/internal/metrics"
 	"sleepmst/internal/sim"
+	"sleepmst/internal/trace"
 )
 
 // Options configures an MST run.
@@ -54,6 +56,29 @@ type Options struct {
 	// injection hook surface (see sim.Interceptor and internal/chaos).
 	// Nil keeps the paper's clean sleeping model.
 	Interceptor sim.Interceptor
+	// Trace, if non-nil, records structured events — scheduler events
+	// plus the algorithms' phase/step/merge markers — into the given
+	// recorder (see internal/trace). Nil keeps recording off.
+	Trace *trace.Recorder
+	// Metrics, if non-nil, receives the run's counters: awake rounds
+	// per phase and per step, MOE probes and candidates, merge waves
+	// and depth, and per-kind message tallies (see internal/metrics).
+	Metrics *metrics.Registry
+}
+
+// simConfig translates the option fields shared with the simulator
+// into a sim.Config for graph g.
+func (o Options) simConfig(g *graph.Graph) sim.Config {
+	return sim.Config{
+		Graph:             g,
+		Seed:              o.Seed,
+		BitCap:            o.BitCap,
+		RecordAwakeRounds: o.RecordAwakeRounds,
+		AwakeBudget:       o.AwakeBudget,
+		Interceptor:       o.Interceptor,
+		Trace:             o.Trace,
+		Metrics:           o.Metrics,
+	}
 }
 
 // acceptBudget resolves and validates Options.AcceptBudget.

@@ -7,6 +7,7 @@ import (
 	"sleepmst/internal/graph"
 	"sleepmst/internal/ldt"
 	"sleepmst/internal/sim"
+	"sleepmst/internal/trace"
 )
 
 // Color is the Fast-Awake-Coloring palette (§2.3). Blue has the
@@ -100,15 +101,21 @@ func (l nbrList) Bits() int {
 	return b
 }
 
+func (nbrList) MsgKind() string { return "nbr-info" }
+
 // intPayload is a Sizer-friendly integer wire value.
 type intPayload int64
 
 func (p intPayload) Bits() int { return ldt.FieldBits(int64(p)) }
 
+func (intPayload) MsgKind() string { return "int" }
+
 // validMsg tells the sender of an incoming MOE whether it was selected.
 type validMsg struct{ accepted bool }
 
 func (validMsg) Bits() int { return 1 }
+
+func (validMsg) MsgKind() string { return "valid" }
 
 // colorMsg announces a fragment's chosen color.
 type colorMsg struct {
@@ -118,6 +125,8 @@ type colorMsg struct {
 
 func (m colorMsg) Bits() int { return ldt.FieldBits(m.fragID) + 3 }
 
+func (colorMsg) MsgKind() string { return "color" }
+
 // mergeCmd is the pass-1 merge decision broadcast to the fragment.
 type mergeCmd struct {
 	merging  bool
@@ -126,6 +135,8 @@ type mergeCmd struct {
 }
 
 func (m mergeCmd) Bits() int { return 1 + ldt.FieldBits(m.hostID) + ldt.FieldBits(int64(m.hostPort)) }
+
+func (mergeCmd) MsgKind() string { return "merge-cmd" }
 
 // mergeEntries deduplicates and sorts supergraph entries.
 func mergeEntries(lists ...[]nbrEntry) nbrList {
@@ -170,6 +181,7 @@ func (c *nodeCtx) detPhase(phaseStart int64) (done bool) {
 		}
 	}
 	ph := c.broadcastMOE(bs(dbBcastMOE), rootMsg)
+	c.stepDone(trace.StepFindMOE)
 	if !ph.exists {
 		return true
 	}
@@ -177,11 +189,13 @@ func (c *nodeCtx) detPhase(phaseStart int64) (done bool) {
 
 	// Announce the fragment MOE on its edge; learn which incident edges
 	// are incoming MOEs from other fragments.
+	c.nd.Metrics().Add("moe/probes", int64(c.nd.Degree()))
 	out := make(sim.Outbox, c.nd.Degree())
 	for p := 0; p < c.nd.Degree(); p++ {
 		out[p] = taMOEMsg{fragID: c.st.FragID, isMOE: owner && p == ph.moe.ownerPort}
 	}
 	in := ldt.TransmitAdjacent(c.nd, bs(dbTAMOE), out)
+	c.stepDone(trace.StepMarkMOE)
 	var incomingPorts []int
 	incFrag := make(map[int]int64)
 	for p := 0; p < c.nd.Degree(); p++ {
@@ -269,6 +283,7 @@ func (c *nodeCtx) detPhase(phaseStart int64) (done bool) {
 			myEntries = append(myEntries, nbrEntry{fragID: incFrag[p], hostID: c.nd.ID(), hostPort: p})
 		}
 	}
+	c.stepDone(trace.StepValidate)
 
 	// Collect the fragment's supergraph adjacency (NBR-INFO) at the
 	// root and broadcast it to every member.
@@ -287,9 +302,11 @@ func (c *nodeCtx) detPhase(phaseStart int64) (done bool) {
 		bcastPayload = agg.(nbrList)
 	}
 	nbrInfo := ldt.Broadcast(c.nd, c.st, bs(dbBcastNbr), bcastPayload).(nbrList)
+	c.stepDone(trace.StepNbrInfo)
 
 	// --- Step (ii): Fast-Awake-Coloring over N ID stages ----------------
 	myColor, _ := c.fastAwakeColoring(bs, nbrInfo)
+	c.stepDone(trace.StepColoring)
 
 	// Pass 1: Blue fragments with supergraph neighbors merge into an
 	// arbitrary (non-Blue) neighbor.
@@ -304,6 +321,7 @@ func (c *nodeCtx) detPhase(phaseStart int64) (done bool) {
 		cmdPayload = cmd
 	}
 	cmd := ldt.Broadcast(c.nd, c.st, bs(mergeBase+postColor1), cmdPayload).(mergeCmd)
+	c.stepDone(trace.StepDecide)
 	dec := ldt.NoMerge
 	if cmd.merging {
 		dec = ldt.MergeDecision{Merging: true, AttachPort: -1}
@@ -324,6 +342,7 @@ func (c *nodeCtx) detPhase(phaseStart int64) (done bool) {
 		}
 	}
 	ldt.MergingFragments(c.nd, c.st, bs(mergeBase+postColorM2), dec)
+	c.stepDone(trace.StepMerge)
 	return false
 }
 
@@ -448,18 +467,12 @@ func RunDeterministic(g *graph.Graph, opts Options) (*Outcome, error) {
 	rec := newPhaseRecorder(opts.RecordPhases, g.N(), maxPhases)
 	phasesRun := make([]int, g.N())
 
-	res, err := sim.Run(sim.Config{
-		Graph:             g,
-		Seed:              opts.Seed,
-		BitCap:            opts.BitCap,
-		RecordAwakeRounds: opts.RecordAwakeRounds,
-		AwakeBudget:       opts.AwakeBudget,
-		Interceptor:       opts.Interceptor,
-	}, func(nd *sim.Node) error {
+	res, err := sim.Run(opts.simConfig(g), func(nd *sim.Node) error {
 		c := newNodeCtx(nd, states[nd.Index()])
 		c.acceptBudget = budget
 		phaseLen := detPhaseBlocks(nd.MaxID()) * c.blk
 		for p := 0; p < maxPhases; p++ {
+			c.beginPhase(p + 1)
 			done := c.detPhase(1 + int64(p)*phaseLen)
 			rec.record(p, nd.Index(), c.st.FragID)
 			phasesRun[nd.Index()] = p + 1

@@ -154,14 +154,7 @@ func RunClassicGHS(g *graph.Graph, opts Options) (*Outcome, error) {
 	}
 	outs := make([]nodeOut, n)
 
-	res, err := sim.Run(sim.Config{
-		Graph:             g,
-		Seed:              opts.Seed,
-		BitCap:            opts.BitCap,
-		RecordAwakeRounds: opts.RecordAwakeRounds,
-		AwakeBudget:       opts.AwakeBudget,
-		Interceptor:       opts.Interceptor,
-	}, func(nd *sim.Node) error {
+	res, err := sim.Run(opts.simConfig(g), func(nd *sim.Node) error {
 		gn := &ghsNode{
 			nd:      nd,
 			fragID:  nd.ID(),

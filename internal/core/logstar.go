@@ -6,6 +6,7 @@ import (
 	"sleepmst/internal/graph"
 	"sleepmst/internal/ldt"
 	"sleepmst/internal/sim"
+	"sleepmst/internal/trace"
 )
 
 // This file implements the Corollary 1 variant (§2.3 Remark): the
@@ -79,6 +80,8 @@ type cvColorMsg struct {
 
 func (m cvColorMsg) Bits() int { return ldt.FieldBits(m.fragID) + ldt.FieldBits(m.color) }
 
+func (cvColorMsg) MsgKind() string { return "cv-color" }
+
 // cvColorList is the Up/Broadcast payload: CV colors of <= 4 neighbors.
 type cvColorList []cvColorMsg
 
@@ -90,6 +93,8 @@ func (l cvColorList) Bits() int {
 	return b
 }
 
+func (cvColorList) MsgKind() string { return "cv-colors" }
+
 // parentInfo is the orientation broadcast payload.
 type parentInfo struct {
 	hasParent bool
@@ -97,6 +102,8 @@ type parentInfo struct {
 }
 
 func (m parentInfo) Bits() int { return 1 + ldt.FieldBits(m.fragID) }
+
+func (parentInfo) MsgKind() string { return "cv-parent" }
 
 // logStarBlocks returns the block count of one LogStar-MST phase.
 func logStarBlocks(maxID int64) int64 {
@@ -337,6 +344,8 @@ func (l colorMsgList) Bits() int {
 	return b
 }
 
+func (colorMsgList) MsgKind() string { return "color-list" }
+
 // logStarPhase is detPhase with the coloring swapped out.
 func (c *nodeCtx) logStarPhase(phaseStart int64) (done bool) {
 	bs := func(b int64) int64 { return phaseStart + b*c.blk }
@@ -353,16 +362,19 @@ func (c *nodeCtx) logStarPhase(phaseStart int64) (done bool) {
 		}
 	}
 	ph := c.broadcastMOE(bs(dbBcastMOE), rootMsg)
+	c.stepDone(trace.StepFindMOE)
 	if !ph.exists {
 		return true
 	}
 	owner := c.isMOEOwner(&ph.moe)
 
+	c.nd.Metrics().Add("moe/probes", int64(c.nd.Degree()))
 	out := make(sim.Outbox, c.nd.Degree())
 	for p := 0; p < c.nd.Degree(); p++ {
 		out[p] = taMOEMsg{fragID: c.st.FragID, isMOE: owner && p == ph.moe.ownerPort}
 	}
 	in := ldt.TransmitAdjacent(c.nd, bs(dbTAMOE), out)
+	c.stepDone(trace.StepMarkMOE)
 	var incomingPorts []int
 	incFrag := make(map[int]int64)
 	mutualMOE := false
@@ -452,6 +464,7 @@ func (c *nodeCtx) logStarPhase(phaseStart int64) (done bool) {
 			myEntries = append(myEntries, nbrEntry{fragID: incFrag[p], hostID: c.nd.ID(), hostPort: p})
 		}
 	}
+	c.stepDone(trace.StepValidate)
 	agg := ldt.Up(c.nd, c.st, bs(dbUpNbr), nbrList(myEntries),
 		func(own interface{}, fromChildren map[int]interface{}) interface{} {
 			lists := [][]nbrEntry{own.(nbrList)}
@@ -467,6 +480,7 @@ func (c *nodeCtx) logStarPhase(phaseStart int64) (done bool) {
 		bcastPayload = agg.(nbrList)
 	}
 	nbrInfo := ldt.Broadcast(c.nd, c.st, bs(dbBcastNbr), bcastPayload).(nbrList)
+	c.stepDone(trace.StepNbrInfo)
 
 	// --- Step (ii): log* coloring + merging -----------------------------
 	ownerPort := -1
@@ -476,6 +490,7 @@ func (c *nodeCtx) logStarPhase(phaseStart int64) (done bool) {
 		inAccepted = validIn[ownerPort]
 	}
 	myColor := c.logStarColoring(bs, nbrInfo, owner, ownerPort, outAccepted, mutualMOE, inAccepted)
+	c.stepDone(trace.StepColoring)
 
 	mergeBase := logStarBlocks(c.nd.MaxID()) - 7
 	var cmdPayload interface{}
@@ -488,6 +503,7 @@ func (c *nodeCtx) logStarPhase(phaseStart int64) (done bool) {
 		cmdPayload = cmd
 	}
 	cmd := ldt.Broadcast(c.nd, c.st, bs(mergeBase), cmdPayload).(mergeCmd)
+	c.stepDone(trace.StepDecide)
 	dec := ldt.NoMerge
 	if cmd.merging {
 		dec = ldt.MergeDecision{Merging: true, AttachPort: -1}
@@ -505,6 +521,7 @@ func (c *nodeCtx) logStarPhase(phaseStart int64) (done bool) {
 		}
 	}
 	ldt.MergingFragments(c.nd, c.st, bs(mergeBase+4), dec)
+	c.stepDone(trace.StepMerge)
 	return false
 }
 
@@ -527,18 +544,12 @@ func RunLogStar(g *graph.Graph, opts Options) (*Outcome, error) {
 	rec := newPhaseRecorder(opts.RecordPhases, g.N(), maxPhases)
 	phasesRun := make([]int, g.N())
 
-	res, err := sim.Run(sim.Config{
-		Graph:             g,
-		Seed:              opts.Seed,
-		BitCap:            opts.BitCap,
-		RecordAwakeRounds: opts.RecordAwakeRounds,
-		AwakeBudget:       opts.AwakeBudget,
-		Interceptor:       opts.Interceptor,
-	}, func(nd *sim.Node) error {
+	res, err := sim.Run(opts.simConfig(g), func(nd *sim.Node) error {
 		c := newNodeCtx(nd, states[nd.Index()])
 		c.acceptBudget = budget
 		phaseLen := logStarBlocks(nd.MaxID()) * c.blk
 		for p := 0; p < maxPhases; p++ {
+			c.beginPhase(p + 1)
 			done := c.logStarPhase(1 + int64(p)*phaseLen)
 			rec.record(p, nd.Index(), c.st.FragID)
 			phasesRun[nd.Index()] = p + 1

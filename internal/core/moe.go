@@ -3,7 +3,9 @@ package core
 import (
 	"sleepmst/internal/graph"
 	"sleepmst/internal/ldt"
+	"sleepmst/internal/metrics"
 	"sleepmst/internal/sim"
+	"sleepmst/internal/trace"
 )
 
 // nodeCtx bundles the per-node execution state shared by the
@@ -17,6 +19,12 @@ type nodeCtx struct {
 	// acceptBudget is the deterministic algorithms' valid-incoming-MOE
 	// cap (the paper's 3; configurable for ablations).
 	acceptBudget int64
+
+	// phase and stepAwake drive the observability attribution: phase is
+	// the current 1-based phase, stepAwake the node's awake count when
+	// the current step began (see beginPhase / stepDone).
+	phase     int
+	stepAwake int64
 
 	nbrFragID []int64 // per port, as of the last fragment TA
 	nbrLevel  []int
@@ -42,6 +50,33 @@ func newNodeCtx(nd *sim.Node, st *ldt.State) *nodeCtx {
 	return c
 }
 
+// beginPhase marks the start of 1-based phase p for trace/metrics
+// attribution. Both sinks are nil-safe, so callers never branch.
+func (c *nodeCtx) beginPhase(p int) {
+	c.phase = p
+	c.nd.EmitPhase(p, c.st.FragID)
+	c.stepAwake = c.nd.AwakeCount()
+}
+
+// stepDone attributes the awake rounds spent since the previous
+// stepDone (or beginPhase) to the given step: one trace event plus the
+// awake/step/<step> and awake/phase/<NNN> counters. Steps a node slept
+// through entirely are skipped to keep the event volume proportional
+// to awake work.
+func (c *nodeCtx) stepDone(step trace.Step) {
+	aw := c.nd.AwakeCount()
+	d := aw - c.stepAwake
+	c.stepAwake = aw
+	if d == 0 {
+		return
+	}
+	c.nd.EmitStep(c.phase, step, d)
+	if m := c.nd.Metrics(); m != nil {
+		m.Add(metrics.StepName(step.String()), d)
+		m.Add(metrics.PhaseName(c.phase), d)
+	}
+}
+
 // taFragMsg announces (ID, fragment, level) to all neighbors.
 type taFragMsg struct {
 	id     int64
@@ -52,6 +87,8 @@ type taFragMsg struct {
 func (m taFragMsg) Bits() int {
 	return ldt.FieldBits(m.id) + ldt.FieldBits(m.fragID) + ldt.FieldBits(int64(m.level))
 }
+
+func (taFragMsg) MsgKind() string { return "ta-frag" }
 
 // taFragment runs one Transmit-Adjacent block in which every node
 // refreshes its per-port neighbor knowledge.
@@ -121,7 +158,11 @@ func (c *nodeCtx) localMOE() *ldt.MinItem {
 // return value identifies the fragment MOE (nil = fragment spans the
 // graph).
 func (c *nodeCtx) upcastMOE(start int64) *moeInfo {
-	res := ldt.UpcastMin(c.nd, c.st, start, c.localMOE())
+	mine := c.localMOE()
+	if mine != nil {
+		c.nd.Metrics().Add("moe/candidates", 1)
+	}
+	res := ldt.UpcastMin(c.nd, c.st, start, mine)
 	if res == nil {
 		return nil
 	}
@@ -139,6 +180,8 @@ type bcastMOEMsg struct {
 }
 
 func (m bcastMOEMsg) Bits() int { return 2 + m.moe.Bits() }
+
+func (bcastMOEMsg) MsgKind() string { return "bcast-moe" }
 
 // broadcastMOE distributes the root's MOE knowledge (and coin) to the
 // whole fragment.
@@ -161,6 +204,8 @@ func (c *nodeCtx) isMOEOwner(info *moeInfo) bool {
 type boolPayload bool
 
 func (boolPayload) Bits() int { return 1 }
+
+func (boolPayload) MsgKind() string { return "bool" }
 
 // upcastFirst runs an Up block that propagates the first non-nil value
 // toward the root (used for single-owner facts such as MOE validity).

@@ -92,18 +92,12 @@ func AggregateMin(g *graph.Graph, values []int64, opts Options) (*AggregateResul
 	perNode := make([]int64, g.N())
 	phasesRun := make([]int, g.N())
 
-	res, err := sim.Run(sim.Config{
-		Graph:             g,
-		Seed:              opts.Seed,
-		BitCap:            opts.BitCap,
-		RecordAwakeRounds: opts.RecordAwakeRounds,
-		AwakeBudget:       opts.AwakeBudget,
-		Interceptor:       opts.Interceptor,
-	}, func(nd *sim.Node) error {
+	res, err := sim.Run(opts.simConfig(g), func(nd *sim.Node) error {
 		c := newNodeCtx(nd, states[nd.Index()])
 		blkPerPhase := int64(randPhaseBlocks) * c.blk
 		donePhase := -1
 		for p := 0; p < maxPhases; p++ {
+			c.beginPhase(p + 1)
 			if c.randPhase(1 + int64(p)*blkPerPhase) {
 				donePhase = p
 				break
@@ -157,18 +151,12 @@ func BroadcastFrom(g *graph.Graph, source int, value int64, opts Options) (*Aggr
 	states := ldt.SingletonStates(g)
 	perNode := make([]int64, g.N())
 
-	res, err := sim.Run(sim.Config{
-		Graph:             g,
-		Seed:              opts.Seed,
-		BitCap:            opts.BitCap,
-		RecordAwakeRounds: opts.RecordAwakeRounds,
-		AwakeBudget:       opts.AwakeBudget,
-		Interceptor:       opts.Interceptor,
-	}, func(nd *sim.Node) error {
+	res, err := sim.Run(opts.simConfig(g), func(nd *sim.Node) error {
 		c := newNodeCtx(nd, states[nd.Index()])
 		blkPerPhase := int64(randPhaseBlocks) * c.blk
 		donePhase := -1
 		for p := 0; p < maxPhases; p++ {
+			c.beginPhase(p + 1)
 			if c.randPhase(1 + int64(p)*blkPerPhase) {
 				donePhase = p
 				break

@@ -4,6 +4,7 @@ import (
 	"sleepmst/internal/graph"
 	"sleepmst/internal/ldt"
 	"sleepmst/internal/sim"
+	"sleepmst/internal/trace"
 )
 
 // Block layout of one Randomized-MST phase (§2.2). Each entry is one
@@ -30,6 +31,8 @@ type taMOEMsg struct {
 
 func (m taMOEMsg) Bits() int { return ldt.FieldBits(m.fragID) + 2 }
 
+func (taMOEMsg) MsgKind() string { return "ta-moe" }
+
 // randPhase runs one phase. It returns (done, merged): done means the
 // fragment spans the graph (no outgoing edge) and the node may halt.
 func (c *nodeCtx) randPhase(phaseStart int64) (done bool) {
@@ -48,6 +51,7 @@ func (c *nodeCtx) randPhase(phaseStart int64) (done bool) {
 		}
 	}
 	ph := c.broadcastMOE(bs(rbBcastMOE), rootMsg)
+	c.stepDone(trace.StepFindMOE)
 	if !ph.exists {
 		// No outgoing edge: the fragment spans the (connected) graph.
 		return true
@@ -55,6 +59,7 @@ func (c *nodeCtx) randPhase(phaseStart int64) (done bool) {
 	owner := c.isMOEOwner(&ph.moe)
 
 	// Restrict to valid MOEs: only tails -> heads edges survive.
+	c.nd.Metrics().Add("moe/probes", int64(c.nd.Degree()))
 	out := make(sim.Outbox, c.nd.Degree())
 	for p := 0; p < c.nd.Degree(); p++ {
 		out[p] = taMOEMsg{
@@ -64,6 +69,7 @@ func (c *nodeCtx) randPhase(phaseStart int64) (done bool) {
 		}
 	}
 	in := ldt.TransmitAdjacent(c.nd, bs(rbTAMOE), out)
+	c.stepDone(trace.StepMarkMOE)
 
 	var validUp interface{}
 	if owner {
@@ -75,6 +81,7 @@ func (c *nodeCtx) randPhase(phaseStart int64) (done bool) {
 		validUp = boolPayload(valid)
 	}
 	rootValid := c.upcastFirst(bs(rbUpValid), validUp)
+	c.stepDone(trace.StepValidate)
 
 	var mergePayload interface{}
 	if c.st.IsRoot() {
@@ -82,6 +89,7 @@ func (c *nodeCtx) randPhase(phaseStart int64) (done bool) {
 		mergePayload = boolPayload(merging)
 	}
 	merging := bool(ldt.Broadcast(c.nd, c.st, bs(rbBcastMerge), mergePayload).(boolPayload))
+	c.stepDone(trace.StepDecide)
 
 	// Step (ii): merge along valid MOEs.
 	dec := ldt.NoMerge
@@ -92,6 +100,7 @@ func (c *nodeCtx) randPhase(phaseStart int64) (done bool) {
 		}
 	}
 	ldt.MergingFragments(c.nd, c.st, bs(rbMergeStart), dec)
+	c.stepDone(trace.StepMerge)
 	return false
 }
 
@@ -110,17 +119,11 @@ func RunRandomized(g *graph.Graph, opts Options) (*Outcome, error) {
 	rec := newPhaseRecorder(opts.RecordPhases, g.N(), maxPhases)
 	phasesRun := make([]int, g.N())
 
-	res, err := sim.Run(sim.Config{
-		Graph:             g,
-		Seed:              opts.Seed,
-		BitCap:            opts.BitCap,
-		RecordAwakeRounds: opts.RecordAwakeRounds,
-		AwakeBudget:       opts.AwakeBudget,
-		Interceptor:       opts.Interceptor,
-	}, func(nd *sim.Node) error {
+	res, err := sim.Run(opts.simConfig(g), func(nd *sim.Node) error {
 		c := newNodeCtx(nd, states[nd.Index()])
 		blkPerPhase := int64(randPhaseBlocks) * c.blk
 		for p := 0; p < maxPhases; p++ {
+			c.beginPhase(p + 1)
 			done := c.randPhase(1 + int64(p)*blkPerPhase)
 			rec.record(p, nd.Index(), c.st.FragID)
 			phasesRun[nd.Index()] = p + 1

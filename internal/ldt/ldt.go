@@ -131,6 +131,15 @@ type wireMsg struct {
 
 func (m wireMsg) Bits() int { return sim.MessageBits(m.payload) + 2 }
 
+// MsgKind tags the wave wrapper with its payload's kind so message
+// tallies distinguish e.g. wave-carried colors from direct exchanges.
+func (m wireMsg) MsgKind() string {
+	if k, ok := m.payload.(sim.Kinded); ok {
+		return "wave-" + k.MsgKind()
+	}
+	return "wave"
+}
+
 // Down runs one top-down wave over the fragment tree within the block
 // starting at round start. The root's incoming value is rootVal; every
 // other node receives the value forwarded by its parent (nil if the
@@ -234,6 +243,9 @@ type MinItem struct {
 func (m MinItem) Bits() int {
 	return FieldBits(m.Key.W) + FieldBits(m.Key.A) + FieldBits(m.Key.B) + sim.MessageBits(m.Payload)
 }
+
+// MsgKind names Upcast-Min traffic in message tallies.
+func (MinItem) MsgKind() string { return "upcast-min" }
 
 // UpcastMin implements the paper's Upcast-Min: the minimum-key item
 // held by any node of the fragment reaches the root. Nodes with no

@@ -35,6 +35,8 @@ type taMergeMsg struct {
 
 func (m taMergeMsg) Bits() int { return FieldBits(m.fragID) + FieldBits(int64(m.level)) + 1 }
 
+func (taMergeMsg) MsgKind() string { return "ta-merge" }
+
 // waveMsg carries the NEW-FRAGMENT-ID / NEW-LEVEL-NUM pair of the
 // paper's merge waves; empty encodes the paper's ⊥.
 type waveMsg struct {
@@ -44,6 +46,8 @@ type waveMsg struct {
 }
 
 func (m waveMsg) Bits() int { return FieldBits(m.fragID) + FieldBits(int64(m.level)) + 1 }
+
+func (waveMsg) MsgKind() string { return "merge-wave" }
 
 // MergingFragments implements the paper's Procedure
 // Merging-Fragments: every merging fragment re-roots itself at its
@@ -100,6 +104,10 @@ func MergingFragments(nd *sim.Node, st *State, start int64, dec MergeDecision) {
 		reorient = true
 		newParent = dec.AttachPort
 		newChildren = st.TreePorts() // old parent and children all become children
+		// u_T initiates exactly one wave per merging fragment, so this
+		// is the canonical place to count waves and track depth.
+		nd.Metrics().Add("merge/waves", 1)
+		nd.Metrics().Max("merge/depth/max", int64(st.Level))
 	}
 
 	if !dec.Merging {
@@ -169,6 +177,9 @@ func MergingFragments(nd *sim.Node, st *State, start int64, dec MergeDecision) {
 	// Commit the temporary variables (the paper's end-of-step update).
 	if newLevel < 0 {
 		panic(fmt.Sprintf("ldt: node %d of merging fragment %d finished merge with empty level", nd.Index(), st.FragID))
+	}
+	if newFrag != st.FragID {
+		nd.EmitMerge(st.FragID, newFrag)
 	}
 	st.Level = newLevel
 	st.FragID = newFrag

@@ -1,0 +1,48 @@
+// Package prof wires the standard library's runtime/pprof profilers
+// into the CLIs behind a single flag value: a path prefix. Profiling
+// is strictly opt-in — an empty prefix costs nothing — so the
+// observability layer's zero-cost-when-off contract extends to the
+// process level.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into <prefix>.cpu.pprof and returns a
+// stop function that ends the CPU profile and writes a heap profile
+// (after a forced GC, so it reflects live objects) to
+// <prefix>.heap.pprof. An empty prefix returns a no-op stop function
+// and never touches the filesystem.
+func Start(prefix string) (stop func() error, err error) {
+	if prefix == "" {
+		return func() error { return nil }, nil
+	}
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		heap, err := os.Create(prefix + ".heap.pprof")
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer heap.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,46 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEmptyPrefixIsNoOp(t *testing.T) {
+	stop, err := Start("")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+func TestWritesProfiles(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "p")
+	stop, err := Start(prefix)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		if _, err := os.Stat(prefix + suffix); err != nil {
+			t.Errorf("missing profile %s: %v", suffix, err)
+		}
+	}
+}
+
+func TestStartWhileRunningFails(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer stop()
+	// A second CPU profile cannot start while the first is running.
+	if _, err := Start(filepath.Join(dir, "b")); err == nil {
+		t.Error("want error starting a second CPU profile")
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"math/rand"
 
 	"sleepmst/internal/graph"
+	"sleepmst/internal/metrics"
+	"sleepmst/internal/trace"
 )
 
 // Sizer lets a message type declare its size in bits for congestion
@@ -31,6 +33,22 @@ import (
 // DefaultMessageBits.
 type Sizer interface {
 	Bits() int
+}
+
+// Kinded lets a message type declare a stable kind label; delivered
+// messages are then tallied per kind into the msgs/type/<kind> metric
+// when Config.Metrics is set. Messages without a kind tally as
+// "other".
+type Kinded interface {
+	MsgKind() string
+}
+
+// kindOf returns the metric label of a message.
+func kindOf(msg interface{}) string {
+	if k, ok := msg.(Kinded); ok {
+		return k.MsgKind()
+	}
+	return "other"
 }
 
 // DefaultMessageBits is the size charged to messages that do not
@@ -130,6 +148,18 @@ type Config struct {
 	// wake scheduling (fault injection; see Interceptor). Nil keeps
 	// the clean model.
 	Interceptor Interceptor
+	// Trace, if non-nil, records structured events (awake, sleep gaps,
+	// sends, deliveries, losses, crashes, plus whatever the node
+	// program emits via EmitPhase/EmitStep/EmitMerge) into the given
+	// recorder. Nil — the default — keeps recording entirely off the
+	// hot path; when set, recording stays allocation-bounded by the
+	// recorder's ring capacity. The recorder serves this one run: Run
+	// calls Trace.Begin itself.
+	Trace *trace.Recorder
+	// Metrics, if non-nil, receives runtime counters (msgs/type/<kind>
+	// tallies from the scheduler; node programs may add their own via
+	// Node.Metrics). Nil disables the accounting.
+	Metrics *metrics.Registry
 }
 
 // DefaultMaxRounds caps runaway simulations.
@@ -227,6 +257,18 @@ func (r *Result) MaxBitsReceived() int64 {
 	return m
 }
 
+// TraceView projects the result onto the renderer-facing view
+// consumed by trace.Timeline and trace.Histogram. The slices are
+// shared, not copied.
+func (r *Result) TraceView() trace.RunView {
+	return trace.RunView{
+		Rounds:       r.Rounds,
+		AwakePerNode: r.AwakePerNode,
+		AwakeRounds:  r.AwakeRounds,
+		CrashRound:   r.CrashRound,
+	}
+}
+
 // ErrAborted is returned (wrapped) when the run was torn down after a
 // node failed.
 var ErrAborted = errors.New("sim: run aborted")
@@ -310,6 +352,38 @@ func (nd *Node) AwakeCount() int64 { return nd.awake }
 // Rand returns the node's private source of randomness.
 func (nd *Node) Rand() *rand.Rand { return nd.rng }
 
+// Metrics returns the run's metrics registry. It is nil when the run
+// was configured without one, which every registry method tolerates,
+// so instrumented programs call it unconditionally.
+func (nd *Node) Metrics() *metrics.Registry { return nd.rt.cfg.Metrics }
+
+// EmitPhase records the node entering 1-based phase as a member of
+// fragment frag, stamped with the node's next wake round. No-op
+// without a configured trace recorder.
+func (nd *Node) EmitPhase(phase int, frag int64) {
+	if rec := nd.rt.cfg.Trace; rec != nil {
+		rec.Phase(nd.idx, nd.wake, phase, frag)
+	}
+}
+
+// EmitStep records the node completing a phase step on which it spent
+// awake awake rounds, stamped with the node's next wake round. No-op
+// without a configured trace recorder.
+func (nd *Node) EmitStep(phase int, step trace.Step, awake int64) {
+	if rec := nd.rt.cfg.Trace; rec != nil {
+		rec.StepDone(nd.idx, nd.wake, phase, step, awake)
+	}
+}
+
+// EmitMerge records the node leaving fragment prev for fragment frag,
+// stamped with the node's next wake round. No-op without a configured
+// trace recorder.
+func (nd *Node) EmitMerge(prev, frag int64) {
+	if rec := nd.rt.cfg.Trace; rec != nil {
+		rec.Merge(nd.idx, nd.wake, prev, frag)
+	}
+}
+
 // SleepUntil schedules the next Exchange for round r. It panics if r
 // precedes the node's next available round (a programming error in the
 // algorithm, not a runtime condition) — unless an interceptor already
@@ -372,6 +446,12 @@ type runtime struct {
 	park   chan parkEvent
 	res    *Result
 	failed error
+
+	// rec mirrors cfg.Trace; kindTally batches per-kind delivery
+	// counts locally (scheduler goroutine only) and is flushed into
+	// cfg.Metrics once at the end of the run.
+	rec       *trace.Recorder
+	kindTally map[string]int64
 
 	delayed delayHeap // in-flight messages postponed by the interceptor
 	seq     int64     // FIFO tiebreak for delayed messages
@@ -476,6 +556,13 @@ func Run(cfg Config, prog Program) (*Result, error) {
 		rt.res.CrashRound = make([]int64, n)
 		cfg.Interceptor.BeginRun(n)
 	}
+	if cfg.Trace != nil {
+		rt.rec = cfg.Trace
+		rt.rec.Begin(n)
+	}
+	if cfg.Metrics != nil {
+		rt.kindTally = make(map[string]int64)
+	}
 	for i := 0; i < n; i++ {
 		nd := &Node{
 			rt:   rt,
@@ -492,6 +579,14 @@ func Run(cfg Config, prog Program) (*Result, error) {
 	rt.loop()
 	// Messages still in flight when the run ends never reach anyone.
 	rt.res.MessagesLost += int64(len(rt.delayed))
+	if rt.rec != nil {
+		for _, d := range rt.delayed {
+			rt.rec.Lost(d.round, d.from, d.fromPort, d.to)
+		}
+	}
+	for kind, c := range rt.kindTally {
+		cfg.Metrics.Add(metrics.MsgName(kind), c)
+	}
 	if rt.failed != nil {
 		return rt.res, rt.failed
 	}
@@ -606,10 +701,23 @@ func (rt *runtime) loop() {
 					// round. Unwind its goroutine; the exit event lands
 					// on rt.park, so extend this collection loop by one.
 					rt.res.CrashRound[ev.idx] = cr
+					if rt.rec != nil {
+						// The node is parked, so the scheduler may write
+						// its stream (it never will again after abort).
+						rt.rec.Crash(ev.idx, cr)
+					}
 					nd.aborted = true
 					nd.resume <- struct{}{}
 					awaitEvents++
 					continue
+				}
+			}
+			if rt.rec != nil {
+				// A real sleep gap: the node skips >= 1 round between
+				// its last awake round (0 = never) and its next wake.
+				// Recorded into the node's stream while it is parked.
+				if last := rt.res.HaltRound[ev.idx]; nd.wake > last+1 {
+					rt.rec.Sleep(ev.idx, last, nd.wake)
 				}
 			}
 			parked[ev.idx] = true
@@ -649,6 +757,9 @@ func (rt *runtime) loop() {
 			nd := rt.nodes[idx]
 			nd.awake++
 			rt.res.AwakePerNode[idx]++
+			if rt.rec != nil {
+				rt.rec.Awake(round, idx)
+			}
 			if rt.cfg.AwakeBudget > 0 && nd.awake > rt.cfg.AwakeBudget && rt.failed == nil {
 				rt.failed = fmt.Errorf("sim: node %d exceeded awake budget %d in round %d: %w (%w)",
 					idx, rt.cfg.AwakeBudget, round, ErrAwakeBudget, ErrAborted)
@@ -697,7 +808,7 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 	for _, idx := range participants {
 		nd := rt.nodes[idx]
 		ports := rt.cfg.Graph.Ports(idx)
-		if itc == nil {
+		if itc == nil && rt.rec == nil {
 			for p, msg := range nd.out {
 				bits := MessageBits(msg)
 				if rt.cfg.BitCap > 0 && bits > rt.cfg.BitCap {
@@ -717,10 +828,11 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 			}
 			continue
 		}
-		// Chaos path: iterate ports in index order so a stateful
-		// interceptor sees a deterministic event sequence (the clean
-		// path above may range over the outbox map in any order —
-		// harmless there because metering is additive).
+		// Ordered path, taken with an interceptor or a trace recorder:
+		// iterate ports in index order so a stateful interceptor — and
+		// the recorder's event stream — sees a deterministic event
+		// sequence (the clean path above may range over the outbox map
+		// in any order — harmless there because metering is additive).
 		for p := range ports {
 			msg, staged := nd.out[p]
 			if !staged {
@@ -734,6 +846,21 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 			rt.res.MessagesSent++
 			rt.res.MessagesSentPerNode[idx]++
 			rt.res.BitsSent += int64(bits)
+			if rt.rec != nil {
+				rt.rec.Send(round, idx, p, ports[p].To)
+			}
+			if itc == nil {
+				// Recording without chaos: clean delivery semantics.
+				if rt.awakeStamp[ports[p].To] != round {
+					rt.res.MessagesLost++
+					rt.rec.Lost(round, idx, p, ports[p].To)
+					continue
+				}
+				if err := rt.deposit(round, idx, p, ports[p].To, ports[p].RevPort, msg); err != nil {
+					return err
+				}
+				continue
+			}
 			ev := MessageEvent{Round: round, From: idx, Port: p, To: ports[p].To, Payload: msg}
 			itc.InterceptMessage(&ev)
 			if ev.Mutated {
@@ -742,6 +869,9 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 			if ev.Drop {
 				rt.res.MessagesDropped++
 				rt.res.MessagesLost++
+				if rt.rec != nil {
+					rt.rec.Lost(round, idx, p, ports[p].To)
+				}
 				continue
 			}
 			if ev.Delay < 0 {
@@ -758,6 +888,9 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 				if at == round {
 					if rt.awakeStamp[ports[p].To] != round {
 						rt.res.MessagesLost++
+						if rt.rec != nil {
+							rt.rec.Lost(round, idx, p, ports[p].To)
+						}
 						continue
 					}
 					if err := rt.deposit(round, idx, p, ports[p].To, ports[p].RevPort, ev.Payload); err != nil {
@@ -787,6 +920,9 @@ func (rt *runtime) deliverDelayed(round int64) error {
 		d := rt.delayed.pop()
 		if d.round < round || rt.awakeStamp[d.to] != round {
 			rt.res.MessagesLost++
+			if rt.rec != nil {
+				rt.rec.Lost(d.round, d.from, d.fromPort, d.to)
+			}
 			continue
 		}
 		if err := rt.deposit(round, d.from, d.fromPort, d.to, d.rev, d.msg); err != nil {
@@ -809,6 +945,12 @@ func (rt *runtime) deposit(round int64, from, fromPort, to, rev int, msg interfa
 	}
 	rt.res.MessagesDelivered++
 	rt.res.BitsReceivedPerNode[to] += int64(bits)
+	if rt.rec != nil {
+		rt.rec.Deliver(round, to, rev, from)
+	}
+	if rt.kindTally != nil {
+		rt.kindTally[kindOf(msg)]++
+	}
 	rcv := rt.nodes[to]
 	if rcv.in == nil {
 		if rcv.spare != nil {

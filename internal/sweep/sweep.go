@@ -11,11 +11,22 @@
 // grid coordinates (never from shared sequential RNG state), which is
 // what makes the parallel path produce byte-identical aggregates to
 // the serial one.
+//
+// The same discipline extends to the observability layer: a job that
+// collects run counters must not share one metrics.Registry across
+// the pool (the values would still be right — Add/Max commute — but
+// per-job attribution would be lost). RunWithMetrics gives every job
+// a private registry and folds them in grid order, so the merged
+// aggregate is identical for every worker count. Event recorders
+// (trace.Recorder) are strictly one-per-run and belong inside the job
+// closure.
 package sweep
 
 import (
 	"fmt"
 	"runtime"
+
+	"sleepmst/internal/metrics"
 )
 
 // Config parameterizes a sweep.
@@ -93,6 +104,21 @@ func Run[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
 // and the results come back in job order.
 func Map[J, T any](cfg Config, jobs []J, fn func(job J) (T, error)) ([]T, error) {
 	return Run(cfg, len(jobs), func(i int) (T, error) { return fn(jobs[i]) })
+}
+
+// RunWithMetrics is Run for jobs that also emit run counters: every
+// job receives its own private metrics.Registry (workers never
+// contend on shared state), and the per-job registries are folded in
+// grid order afterwards. The merged registry is therefore identical
+// for every worker count, including on error (completed jobs'
+// counters are kept, exactly like completed results).
+func RunWithMetrics[T any](cfg Config, n int, fn func(i int, reg *metrics.Registry) (T, error)) ([]T, *metrics.Registry, error) {
+	regs := make([]*metrics.Registry, n)
+	results, err := Run(cfg, n, func(i int) (T, error) {
+		regs[i] = metrics.New()
+		return fn(i, regs[i])
+	})
+	return results, metrics.MergeAll(regs), err
 }
 
 // Grid indexes the cartesian product of named dimensions, flattening a

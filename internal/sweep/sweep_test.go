@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"sleepmst/internal/metrics"
 )
 
 func TestRunReturnsResultsInIndexOrder(t *testing.T) {
@@ -77,6 +79,32 @@ func TestRunEmptyAndMap(t *testing.T) {
 	squares, err := Map(Config{Workers: 2}, []int{3, 4, 5}, func(j int) (int, error) { return j * j, nil })
 	if err != nil || !reflect.DeepEqual(squares, []int{9, 16, 25}) {
 		t.Fatalf("map: %v %v", squares, err)
+	}
+}
+
+func TestRunWithMetricsWorkerCountIndependent(t *testing.T) {
+	job := func(i int, reg *metrics.Registry) (int, error) {
+		reg.Add("jobs", 1)
+		reg.Add(fmt.Sprintf("value/%03d", i%5), int64(i))
+		reg.Max("max-index", int64(i))
+		return i, nil
+	}
+	_, serial, err := RunWithMetrics(Config{Workers: 1}, 40, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		_, parallel, err := RunWithMetrics(Config{Workers: workers}, 40, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Snapshot(), parallel.Snapshot()) {
+			t.Errorf("workers=%d: metrics differ from serial:\n%v\nvs\n%v",
+				workers, serial.Snapshot(), parallel.Snapshot())
+		}
+	}
+	if serial.Get("jobs") != 40 || serial.GetMax("max-index") != 39 {
+		t.Errorf("aggregate wrong: jobs=%d max=%d", serial.Get("jobs"), serial.GetMax("max-index"))
 	}
 }
 

@@ -1,0 +1,454 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind enumerates the structured trace event types. The numeric order
+// doubles as the canonical sort rank for events sharing a (round,
+// node) coordinate, so it is part of the JSONL stream's determinism
+// contract: do not reorder existing values.
+type Kind uint8
+
+// The event taxonomy. Scheduler-side events (KindAwake, KindSend,
+// KindDeliver, KindLost) are emitted by the simulator's scheduler
+// goroutine; node-side events (KindSleep, KindCrash, KindPhase,
+// KindStep, KindMerge) land in per-node streams written either by the
+// node's own goroutine or by the scheduler while that node is parked.
+const (
+	// KindPhase marks a node entering an algorithm phase.
+	KindPhase Kind = iota
+	// KindStep reports the awake rounds a node spent in one phase step.
+	KindStep
+	// KindMerge reports a node changing fragments in Merging-Fragments.
+	KindMerge
+	// KindSleep reports a real sleep gap: the node skipped at least one
+	// round between its previous awake round and this wake round.
+	KindSleep
+	// KindAwake reports a node being awake (and charged) in a round.
+	KindAwake
+	// KindSend reports one staged message at the start of a round.
+	KindSend
+	// KindDeliver reports a message reaching an awake receiver.
+	KindDeliver
+	// KindLost reports a message that reached no one (sleeping or
+	// crashed receiver, interceptor drop, or a stale delayed copy).
+	KindLost
+	// KindCrash reports a node being crash-stopped by an interceptor.
+	KindCrash
+)
+
+// String returns the JSONL name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPhase:
+		return "phase"
+	case KindStep:
+		return "step"
+	case KindMerge:
+		return "merge"
+	case KindSleep:
+		return "sleep"
+	case KindAwake:
+		return "awake"
+	case KindSend:
+		return "send"
+	case KindDeliver:
+		return "deliver"
+	case KindLost:
+		return "lost"
+	case KindCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Step identifies one instrumented step of an algorithm phase; the
+// per-phase awake budget is attributed to these labels.
+type Step uint8
+
+// The phase-step taxonomy shared by the three LDT algorithms. Not
+// every algorithm emits every step: Randomized-MST skips StepNbrInfo
+// and StepColoring; the deterministic variants emit all seven.
+const (
+	// StepNone is the zero value (no step).
+	StepNone Step = iota
+	// StepFindMOE covers fragment refresh, Upcast-Min of the MOE, and
+	// the Fragment-Broadcast of its identity.
+	StepFindMOE
+	// StepMarkMOE covers the Transmit-Adjacent block that marks MOE
+	// edges (and exchanges coin flips in the randomized algorithm).
+	StepMarkMOE
+	// StepValidate covers MOE validity: the tails->heads upcast in the
+	// randomized algorithm; the incoming-MOE count, token distribution,
+	// and accept/reject notices in the deterministic ones.
+	StepValidate
+	// StepNbrInfo covers the supergraph NBR-INFO collection and
+	// broadcast (deterministic variants only).
+	StepNbrInfo
+	// StepColoring covers the coloring stages: Fast-Awake-Coloring or
+	// the Cole-Vishkin style log* variant (deterministic variants only).
+	StepColoring
+	// StepDecide covers the fragment-wide merge-decision broadcast.
+	StepDecide
+	// StepMerge covers the Merging-Fragments wave(s).
+	StepMerge
+)
+
+// Steps lists every real step in canonical (emission) order.
+var Steps = [...]Step{StepFindMOE, StepMarkMOE, StepValidate, StepNbrInfo, StepColoring, StepDecide, StepMerge}
+
+// String returns the JSONL name of the step.
+func (s Step) String() string {
+	switch s {
+	case StepNone:
+		return "none"
+	case StepFindMOE:
+		return "find-moe"
+	case StepMarkMOE:
+		return "mark-moe"
+	case StepValidate:
+		return "validate"
+	case StepNbrInfo:
+		return "nbr-info"
+	case StepColoring:
+		return "coloring"
+	case StepDecide:
+		return "decide"
+	case StepMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("Step(%d)", int(s))
+	}
+}
+
+// ParseStep converts a JSONL step name back to its Step.
+func ParseStep(s string) (Step, error) {
+	for _, st := range Steps {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	if s == StepNone.String() {
+		return StepNone, nil
+	}
+	return StepNone, fmt.Errorf("trace: unknown step %q", s)
+}
+
+// Event is one structured trace record. Which fields are meaningful
+// depends on Kind; unused fields are zero:
+//
+//	KindPhase:   Round (first round of the phase), Node, Phase, Frag
+//	KindStep:    Round (round after the step), Node, Phase, Step, Aux
+//	             (awake rounds the node spent in the step)
+//	KindMerge:   Round (round after the merge), Node, Frag (new
+//	             fragment), Prev (old fragment)
+//	KindSleep:   Round (the wake round ending the gap), Node, Aux (the
+//	             last awake round before the gap; 0 = never awake)
+//	KindAwake:   Round, Node
+//	KindSend:    Round, Node (sender), Port (sender's port), Peer
+//	             (receiver)
+//	KindDeliver: Round, Node (receiver), Port (receiver's port), Peer
+//	             (sender)
+//	KindLost:    Round, Node (sender), Port (sender's port), Peer
+//	             (intended receiver)
+//	KindCrash:   Round (crash-stop round), Node
+type Event struct {
+	// Round is the simulated round the event belongs to.
+	Round int64
+	// Frag is the fragment ID (KindPhase, KindMerge).
+	Frag int64
+	// Prev is the pre-merge fragment ID (KindMerge).
+	Prev int64
+	// Aux is the kind-specific extra value: awake delta for KindStep,
+	// last-awake round for KindSleep.
+	Aux int64
+	// Node is the acting node (sender for sends, receiver for
+	// deliveries).
+	Node int32
+	// Port is the acting node's port (KindSend, KindDeliver, KindLost).
+	Port int32
+	// Peer is the other endpoint (KindSend, KindDeliver, KindLost).
+	Peer int32
+	// Phase is the 1-based phase number (KindPhase, KindStep).
+	Phase int32
+	// Kind is the event type.
+	Kind Kind
+	// Step is the phase-step label (KindStep).
+	Step Step
+}
+
+// DefaultCapacity is the recorder's default total event capacity.
+const DefaultCapacity = 1 << 18
+
+// stream is one bounded ring of events, written by exactly one
+// goroutine at a time (see Recorder).
+type stream struct {
+	buf     []Event
+	head    int   // index of the oldest event
+	n       int   // live events
+	seq     int64 // total events ever appended
+	dropped int64
+}
+
+// push appends an event, evicting the oldest when the ring is full.
+func (s *stream) push(cap int, ev Event) {
+	if len(s.buf) < cap {
+		s.buf = append(s.buf, ev)
+		s.n++
+		s.seq++
+		return
+	}
+	if s.n == len(s.buf) { // full: overwrite the oldest
+		s.buf[s.head] = ev
+		s.head = (s.head + 1) % len(s.buf)
+		s.dropped++
+		s.seq++
+		return
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = ev
+	s.n++
+	s.seq++
+}
+
+// Recorder is a bounded, allocation-limited structured event recorder
+// for one simulation run. It keeps one ring buffer per writer — the
+// scheduler goroutine plus each node goroutine — so recording never
+// takes a lock; the canonical event order is reconstructed at read
+// time by sorting on (Round, Node, Kind, stream sequence), which is
+// deterministic because every stream's content is deterministic for a
+// fixed seed.
+//
+// A Recorder serves one run at a time: sim.Run calls Begin, which
+// resets all streams. It must not be shared by concurrent runs (give
+// every sweep job its own Recorder).
+type Recorder struct {
+	capacity int
+	n        int
+	rounds   int64
+	sched    stream   // scheduler-side events
+	nodes    []stream // per-node events
+	schedCap int
+	nodeCap  int
+}
+
+// NewRecorder returns a Recorder bounding its memory to capacity
+// events in total (0 means DefaultCapacity). Half the budget goes to
+// the scheduler stream (awake/send/deliver/lost events dominate), the
+// other half is split evenly across node streams; when a stream
+// overflows its share, its oldest events are discarded and counted in
+// Dropped.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{capacity: capacity}
+}
+
+// Begin resets the recorder for a run on n nodes. It is called by
+// sim.Run; only the rare caller driving the simulator directly calls
+// it by hand.
+func (r *Recorder) Begin(n int) {
+	r.n = n
+	r.rounds = 0
+	r.sched = stream{}
+	r.nodes = make([]stream, n)
+	r.schedCap = r.capacity / 2
+	if r.schedCap < 64 {
+		r.schedCap = 64
+	}
+	r.nodeCap = r.capacity / 2 / n
+	if r.nodeCap < 64 {
+		r.nodeCap = 64
+	}
+}
+
+// N returns the node count of the recorded run (0 before Begin).
+func (r *Recorder) N() int { return r.n }
+
+// Rounds returns the largest round observed in an awake event.
+func (r *Recorder) Rounds() int64 { return r.rounds }
+
+// Dropped returns the number of events evicted by ring overflow.
+func (r *Recorder) Dropped() int64 {
+	d := r.sched.dropped
+	for i := range r.nodes {
+		d += r.nodes[i].dropped
+	}
+	return d
+}
+
+// Len returns the number of live (non-evicted) events.
+func (r *Recorder) Len() int {
+	n := r.sched.n
+	for i := range r.nodes {
+		n += r.nodes[i].n
+	}
+	return n
+}
+
+// Awake records node being awake (and charged) in round. Scheduler
+// side.
+func (r *Recorder) Awake(round int64, node int) {
+	if round > r.rounds {
+		r.rounds = round
+	}
+	r.sched.push(r.schedCap, Event{Kind: KindAwake, Round: round, Node: int32(node)})
+}
+
+// Send records one staged message: from sends on its port towards to.
+// Scheduler side.
+func (r *Recorder) Send(round int64, from, port, to int) {
+	r.sched.push(r.schedCap, Event{Kind: KindSend, Round: round, Node: int32(from), Port: int32(port), Peer: int32(to)})
+}
+
+// Deliver records a message reaching awake receiver to on its port
+// (the reverse port of the send), sent by from. Scheduler side.
+func (r *Recorder) Deliver(round int64, to, port, from int) {
+	r.sched.push(r.schedCap, Event{Kind: KindDeliver, Round: round, Node: int32(to), Port: int32(port), Peer: int32(from)})
+}
+
+// Lost records a message copy that reached no one. Scheduler side.
+func (r *Recorder) Lost(round int64, from, port, to int) {
+	r.sched.push(r.schedCap, Event{Kind: KindLost, Round: round, Node: int32(from), Port: int32(port), Peer: int32(to)})
+}
+
+// Sleep records a real sleep gap for node: it was last awake in
+// lastAwake (0 = never) and wakes next in wake. Called by the
+// scheduler while the node is parked, so it shares the node's stream
+// without racing the node goroutine.
+func (r *Recorder) Sleep(node int, lastAwake, wake int64) {
+	r.nodes[node].push(r.nodeCap, Event{Kind: KindSleep, Round: wake, Node: int32(node), Aux: lastAwake})
+}
+
+// Crash records node being crash-stopped from round onward. Called by
+// the scheduler while the node is parked.
+func (r *Recorder) Crash(node int, round int64) {
+	r.nodes[node].push(r.nodeCap, Event{Kind: KindCrash, Round: round, Node: int32(node)})
+}
+
+// Phase records node entering 1-based phase as a member of fragment
+// frag, with round its first wake round of the phase. Node side.
+func (r *Recorder) Phase(node int, round int64, phase int, frag int64) {
+	r.nodes[node].push(r.nodeCap, Event{Kind: KindPhase, Round: round, Node: int32(node), Phase: int32(phase), Frag: frag})
+}
+
+// StepDone records node finishing a phase step having spent awake
+// rounds on it; round is the node's next wake round. Node side.
+func (r *Recorder) StepDone(node int, round int64, phase int, step Step, awake int64) {
+	r.nodes[node].push(r.nodeCap, Event{Kind: KindStep, Round: round, Node: int32(node), Phase: int32(phase), Step: step, Aux: awake})
+}
+
+// Merge records node moving from fragment prev to fragment frag;
+// round is the node's next wake round. Node side.
+func (r *Recorder) Merge(node int, round int64, prev, frag int64) {
+	r.nodes[node].push(r.nodeCap, Event{Kind: KindMerge, Round: round, Node: int32(node), Frag: frag, Prev: prev})
+}
+
+// indexed attaches the stream coordinates used as the final sort
+// tiebreak.
+type indexed struct {
+	ev     Event
+	stream int32
+	seq    int64
+}
+
+// Events returns the live events in canonical order: ascending
+// (Round, Node, Kind, stream, per-stream sequence). The order is
+// total and deterministic for a fixed-seed run, which is what makes
+// the JSONL stream byte-identical across repeats and worker counts.
+func (r *Recorder) Events() []Event {
+	all := make([]indexed, 0, r.Len())
+	collect := func(s *stream, id int32) {
+		base := s.seq - int64(s.n)
+		for i := 0; i < s.n; i++ {
+			all = append(all, indexed{ev: s.buf[(s.head+i)%len(s.buf)], stream: id, seq: base + int64(i)})
+		}
+	}
+	collect(&r.sched, -1)
+	for i := range r.nodes {
+		collect(&r.nodes[i], int32(i))
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.ev.Round != b.ev.Round {
+			return a.ev.Round < b.ev.Round
+		}
+		if a.ev.Node != b.ev.Node {
+			return a.ev.Node < b.ev.Node
+		}
+		if a.ev.Kind != b.ev.Kind {
+			return a.ev.Kind < b.ev.Kind
+		}
+		if a.stream != b.stream {
+			return a.stream < b.stream
+		}
+		return a.seq < b.seq
+	})
+	out := make([]Event, len(all))
+	for i := range all {
+		out[i] = all[i].ev
+	}
+	return out
+}
+
+// Meta is the run-level header/footer information of a JSONL trace.
+type Meta struct {
+	// N is the node count of the run.
+	N int
+	// Rounds is the largest awake round observed.
+	Rounds int64
+	// Events is the number of event lines in the stream.
+	Events int64
+	// Dropped counts events evicted by ring overflow (they are missing
+	// from the stream).
+	Dropped int64
+}
+
+// Meta returns the run-level header for the current recording.
+func (r *Recorder) Meta() Meta {
+	return Meta{N: r.n, Rounds: r.rounds, Events: int64(r.Len()), Dropped: r.Dropped()}
+}
+
+// WriteJSONL writes the canonical trace: a begin line, one line per
+// event in canonical order, and an end line. The field order within
+// each line is fixed, so a fixed-seed run produces a byte-identical
+// stream. See DESIGN.md §8 for the field-by-field schema.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	meta := r.Meta()
+	fmt.Fprintf(bw, `{"k":"begin","n":%d}`+"\n", meta.N)
+	for _, ev := range r.Events() {
+		writeEvent(bw, ev)
+	}
+	fmt.Fprintf(bw, `{"k":"end","rounds":%d,"events":%d,"dropped":%d}`+"\n", meta.Rounds, meta.Events, meta.Dropped)
+	return bw.Flush()
+}
+
+// writeEvent renders one event line with a fixed field order.
+func writeEvent(w io.Writer, ev Event) {
+	switch ev.Kind {
+	case KindPhase:
+		fmt.Fprintf(w, `{"k":"phase","r":%d,"v":%d,"ph":%d,"f":%d}`+"\n", ev.Round, ev.Node, ev.Phase, ev.Frag)
+	case KindStep:
+		fmt.Fprintf(w, `{"k":"step","r":%d,"v":%d,"ph":%d,"st":"%s","aw":%d}`+"\n", ev.Round, ev.Node, ev.Phase, ev.Step, ev.Aux)
+	case KindMerge:
+		fmt.Fprintf(w, `{"k":"merge","r":%d,"v":%d,"f":%d,"pf":%d}`+"\n", ev.Round, ev.Node, ev.Frag, ev.Prev)
+	case KindSleep:
+		fmt.Fprintf(w, `{"k":"sleep","r":%d,"v":%d,"from":%d}`+"\n", ev.Round, ev.Node, ev.Aux)
+	case KindAwake:
+		fmt.Fprintf(w, `{"k":"awake","r":%d,"v":%d}`+"\n", ev.Round, ev.Node)
+	case KindSend:
+		fmt.Fprintf(w, `{"k":"send","r":%d,"v":%d,"p":%d,"to":%d}`+"\n", ev.Round, ev.Node, ev.Port, ev.Peer)
+	case KindDeliver:
+		fmt.Fprintf(w, `{"k":"deliver","r":%d,"v":%d,"p":%d,"from":%d}`+"\n", ev.Round, ev.Node, ev.Port, ev.Peer)
+	case KindLost:
+		fmt.Fprintf(w, `{"k":"lost","r":%d,"v":%d,"p":%d,"to":%d}`+"\n", ev.Round, ev.Node, ev.Port, ev.Peer)
+	case KindCrash:
+		fmt.Fprintf(w, `{"k":"crash","r":%d,"v":%d}`+"\n", ev.Round, ev.Node)
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// record fills a recorder with a tiny synthetic run: two nodes, three
+// rounds, one phase, one merge, one lost message, one crash.
+func record() *Recorder {
+	r := NewRecorder(0)
+	r.Begin(2)
+	r.Phase(0, 1, 1, 10)
+	r.Phase(1, 1, 1, 11)
+	r.Awake(1, 0)
+	r.Awake(1, 1)
+	r.Send(1, 0, 0, 1)
+	r.Deliver(1, 1, 0, 0)
+	r.Sleep(1, 1, 3)
+	r.Awake(2, 0)
+	r.Send(2, 0, 0, 1)
+	r.Lost(2, 0, 0, 1)
+	r.Crash(1, 3)
+	r.Awake(3, 0)
+	r.StepDone(0, 4, 1, StepFindMOE, 3)
+	r.Merge(0, 4, 10, 11)
+	return r
+}
+
+func TestRecorderCanonicalOrder(t *testing.T) {
+	r := record()
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		if a.Round > b.Round {
+			t.Fatalf("events out of round order at %d: %+v then %+v", i, a, b)
+		}
+		if a.Round == b.Round && a.Node > b.Node {
+			t.Fatalf("events out of node order at %d: %+v then %+v", i, a, b)
+		}
+		if a.Round == b.Round && a.Node == b.Node && a.Kind > b.Kind {
+			t.Fatalf("events out of kind order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	if r.Rounds() != 3 {
+		t.Errorf("Rounds() = %d, want 3", r.Rounds())
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped() = %d, want 0", r.Dropped())
+	}
+}
+
+func TestRecorderJSONLRoundTrip(t *testing.T) {
+	r := record()
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	meta, evs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.N != 2 || meta.Rounds != 3 || meta.Dropped != 0 {
+		t.Errorf("meta = %+v", meta)
+	}
+	want := r.Events()
+	if len(evs) != len(want) {
+		t.Fatalf("round-trip kept %d of %d events", len(evs), len(want))
+	}
+	for i := range evs {
+		if evs[i] != want[i] {
+			t.Errorf("event %d: round-trip %+v != recorded %+v", i, evs[i], want[i])
+		}
+	}
+}
+
+func TestRecorderWriteIsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := record().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := record().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two identical recordings serialized differently:\n%s\n--\n%s", a.String(), b.String())
+	}
+}
+
+func TestRecorderOverflowDropsOldest(t *testing.T) {
+	r := NewRecorder(128) // schedCap and nodeCap both floor at 64
+	r.Begin(1)
+	for round := int64(1); round <= 100; round++ {
+		r.Awake(round, 0)
+	}
+	if r.Dropped() != 36 {
+		t.Fatalf("Dropped() = %d, want 36", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 64 {
+		t.Fatalf("kept %d events, want 64", len(evs))
+	}
+	if evs[0].Round != 37 || evs[len(evs)-1].Round != 100 {
+		t.Errorf("kept rounds %d..%d, want 37..100 (oldest evicted first)",
+			evs[0].Round, evs[len(evs)-1].Round)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dropped":36`) {
+		t.Errorf("end line missing drop count:\n%s", buf.String())
+	}
+}
+
+func TestRecorderBeginResets(t *testing.T) {
+	r := record()
+	r.Begin(2)
+	if r.Len() != 0 || r.Dropped() != 0 || r.Rounds() != 0 {
+		t.Errorf("Begin did not reset: len=%d dropped=%d rounds=%d", r.Len(), r.Dropped(), r.Rounds())
+	}
+}
+
+func TestStepNamesRoundTrip(t *testing.T) {
+	for _, st := range Steps {
+		got, err := ParseStep(st.String())
+		if err != nil || got != st {
+			t.Errorf("ParseStep(%q) = %v, %v", st.String(), got, err)
+		}
+	}
+	if _, err := ParseStep("bogus"); err == nil {
+		t.Error("ParseStep accepted an unknown step name")
+	}
+}

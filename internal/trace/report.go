@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonlLine is the union of all JSONL line shapes, used only when
+// reading a trace back; writing is hand-rolled for byte stability.
+type jsonlLine struct {
+	K       string `json:"k"`
+	N       int    `json:"n"`
+	R       int64  `json:"r"`
+	V       int32  `json:"v"`
+	P       int32  `json:"p"`
+	To      int32  `json:"to"`
+	From    int64  `json:"from"`
+	Ph      int32  `json:"ph"`
+	St      string `json:"st"`
+	Aw      int64  `json:"aw"`
+	F       int64  `json:"f"`
+	Pf      int64  `json:"pf"`
+	Rounds  int64  `json:"rounds"`
+	Events  int64  `json:"events"`
+	Dropped int64  `json:"dropped"`
+}
+
+// ReadJSONL parses a trace stream written by Recorder.WriteJSONL and
+// returns its run-level meta plus the events in stream order (which is
+// the canonical order). Unknown event kinds are an error so schema
+// drift fails loudly.
+func ReadJSONL(r io.Reader) (Meta, []Event, error) {
+	var meta Meta
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var ln jsonlLine
+		if err := json.Unmarshal([]byte(raw), &ln); err != nil {
+			return meta, nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		switch ln.K {
+		case "begin":
+			meta.N = ln.N
+		case "end":
+			meta.Rounds = ln.Rounds
+			meta.Events = ln.Events
+			meta.Dropped = ln.Dropped
+		case "phase":
+			events = append(events, Event{Kind: KindPhase, Round: ln.R, Node: ln.V, Phase: ln.Ph, Frag: ln.F})
+		case "step":
+			st, err := ParseStep(ln.St)
+			if err != nil {
+				return meta, nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			events = append(events, Event{Kind: KindStep, Round: ln.R, Node: ln.V, Phase: ln.Ph, Step: st, Aux: ln.Aw})
+		case "merge":
+			events = append(events, Event{Kind: KindMerge, Round: ln.R, Node: ln.V, Frag: ln.F, Prev: ln.Pf})
+		case "sleep":
+			events = append(events, Event{Kind: KindSleep, Round: ln.R, Node: ln.V, Aux: ln.From})
+		case "awake":
+			events = append(events, Event{Kind: KindAwake, Round: ln.R, Node: ln.V})
+		case "send":
+			events = append(events, Event{Kind: KindSend, Round: ln.R, Node: ln.V, Port: ln.P, Peer: ln.To})
+		case "deliver":
+			events = append(events, Event{Kind: KindDeliver, Round: ln.R, Node: ln.V, Port: ln.P, Peer: int32(ln.From)})
+		case "lost":
+			events = append(events, Event{Kind: KindLost, Round: ln.R, Node: ln.V, Port: ln.P, Peer: ln.To})
+		case "crash":
+			events = append(events, Event{Kind: KindCrash, Round: ln.R, Node: ln.V})
+		default:
+			return meta, nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, ln.K)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return meta, nil, err
+	}
+	return meta, events, nil
+}
+
+// StepAwake holds awake-round totals indexed by Step.
+type StepAwake [StepMerge + 1]int64
+
+// PhaseBudget is the awake-budget breakdown of one algorithm phase
+// aggregated over all nodes.
+type PhaseBudget struct {
+	// Phase is the 1-based phase number.
+	Phase int32
+	// Nodes is the number of nodes that entered the phase.
+	Nodes int64
+	// Steps holds awake rounds attributed to each step.
+	Steps StepAwake
+	// Awake is the total awake rounds attributed to the phase.
+	Awake int64
+	// Merges is the number of nodes that changed fragment during the
+	// phase's Merging-Fragments wave.
+	Merges int64
+}
+
+// Summary aggregates a structured trace into the per-phase
+// awake-budget table reported by `mstbench -exp trace`.
+type Summary struct {
+	// Meta is the run-level header of the trace.
+	Meta Meta
+	// Phases holds one budget per phase, ascending.
+	Phases []PhaseBudget
+	// StepTotal is the awake budget per step summed over all phases.
+	StepTotal StepAwake
+	// AwakeAttributed is the awake-round total attributed to phase
+	// steps (sum over Phases).
+	AwakeAttributed int64
+	// AwakeEvents counts KindAwake events: the scheduler-side ground
+	// truth the attributed total is compared against.
+	AwakeEvents int64
+	// Sends, Delivers, Lost count the message events.
+	Sends, Delivers, Lost int64
+	// SleepGaps counts real sleep gaps (KindSleep events).
+	SleepGaps int64
+	// Crashes counts crash-stopped nodes.
+	Crashes int64
+}
+
+// Summarize folds a canonical event stream into a Summary. Merge
+// events carry no phase, so each node's merges are attributed to the
+// last phase it entered.
+func Summarize(meta Meta, events []Event) Summary {
+	s := Summary{Meta: meta}
+	byPhase := map[int32]*PhaseBudget{}
+	var order []int32
+	get := func(ph int32) *PhaseBudget {
+		if b, ok := byPhase[ph]; ok {
+			return b
+		}
+		b := &PhaseBudget{Phase: ph}
+		byPhase[ph] = b
+		order = append(order, ph)
+		return b
+	}
+	nodePhase := map[int32]int32{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindPhase:
+			get(ev.Phase).Nodes++
+			nodePhase[ev.Node] = ev.Phase
+		case KindStep:
+			b := get(ev.Phase)
+			b.Steps[ev.Step] += ev.Aux
+			b.Awake += ev.Aux
+			s.StepTotal[ev.Step] += ev.Aux
+			s.AwakeAttributed += ev.Aux
+		case KindMerge:
+			get(nodePhase[ev.Node]).Merges++
+		case KindAwake:
+			s.AwakeEvents++
+		case KindSend:
+			s.Sends++
+		case KindDeliver:
+			s.Delivers++
+		case KindLost:
+			s.Lost++
+		case KindSleep:
+			s.SleepGaps++
+		case KindCrash:
+			s.Crashes++
+		}
+	}
+	for i := 1; i < len(order); i++ { // phases arrive nearly sorted
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, ph := range order {
+		s.Phases = append(s.Phases, *byPhase[ph])
+	}
+	return s
+}
+
+// Table renders the summary as the per-phase awake-budget table: one
+// row per phase, one column per step, plus totals and event counts.
+func (s Summary) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace summary  : n=%d rounds=%d events=%d dropped=%d\n",
+		s.Meta.N, s.Meta.Rounds, s.Meta.Events, s.Meta.Dropped)
+	fmt.Fprintf(&b, "%5s %6s", "phase", "nodes")
+	for _, st := range Steps {
+		fmt.Fprintf(&b, " %9s", st)
+	}
+	fmt.Fprintf(&b, " %9s %7s\n", "total", "merges")
+	for _, p := range s.Phases {
+		fmt.Fprintf(&b, "%5d %6d", p.Phase, p.Nodes)
+		for _, st := range Steps {
+			fmt.Fprintf(&b, " %9d", p.Steps[st])
+		}
+		fmt.Fprintf(&b, " %9d %7d\n", p.Awake, p.Merges)
+	}
+	fmt.Fprintf(&b, "%5s %6s", "all", "")
+	for _, st := range Steps {
+		fmt.Fprintf(&b, " %9d", s.StepTotal[st])
+	}
+	fmt.Fprintf(&b, " %9d\n", s.AwakeAttributed)
+	fmt.Fprintf(&b, "awake rounds   : %d attributed to steps, %d scheduler-charged\n",
+		s.AwakeAttributed, s.AwakeEvents)
+	fmt.Fprintf(&b, "messages       : sent=%d delivered=%d lost=%d\n", s.Sends, s.Delivers, s.Lost)
+	fmt.Fprintf(&b, "sleep gaps     : %d", s.SleepGaps)
+	if s.Crashes > 0 {
+		fmt.Fprintf(&b, "  crashes: %d", s.Crashes)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

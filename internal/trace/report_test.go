@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarizePerPhaseBudget(t *testing.T) {
+	meta := Meta{N: 2, Rounds: 20, Events: 10}
+	events := []Event{
+		{Kind: KindPhase, Round: 1, Node: 0, Phase: 1, Frag: 10},
+		{Kind: KindPhase, Round: 1, Node: 1, Phase: 1, Frag: 11},
+		{Kind: KindAwake, Round: 1, Node: 0},
+		{Kind: KindAwake, Round: 1, Node: 1},
+		{Kind: KindSend, Round: 1, Node: 0, Port: 0, Peer: 1},
+		{Kind: KindDeliver, Round: 1, Node: 1, Port: 0, Peer: 0},
+		{Kind: KindStep, Round: 5, Node: 0, Phase: 1, Step: StepFindMOE, Aux: 4},
+		{Kind: KindStep, Round: 5, Node: 1, Phase: 1, Step: StepFindMOE, Aux: 4},
+		{Kind: KindStep, Round: 8, Node: 0, Phase: 1, Step: StepMerge, Aux: 2},
+		{Kind: KindMerge, Round: 8, Node: 0, Frag: 11, Prev: 10},
+		{Kind: KindPhase, Round: 9, Node: 0, Phase: 2, Frag: 11},
+		{Kind: KindStep, Round: 12, Node: 0, Phase: 2, Step: StepDecide, Aux: 1},
+		{Kind: KindSleep, Round: 9, Node: 1, Aux: 5},
+		{Kind: KindCrash, Round: 15, Node: 1},
+		{Kind: KindLost, Round: 15, Node: 0, Port: 0, Peer: 1},
+	}
+	s := Summarize(meta, events)
+	if len(s.Phases) != 2 {
+		t.Fatalf("got %d phases, want 2", len(s.Phases))
+	}
+	p1 := s.Phases[0]
+	if p1.Phase != 1 || p1.Nodes != 2 || p1.Steps[StepFindMOE] != 8 || p1.Steps[StepMerge] != 2 || p1.Awake != 10 || p1.Merges != 1 {
+		t.Errorf("phase 1 = %+v", p1)
+	}
+	p2 := s.Phases[1]
+	if p2.Phase != 2 || p2.Nodes != 1 || p2.Steps[StepDecide] != 1 || p2.Awake != 1 {
+		t.Errorf("phase 2 = %+v", p2)
+	}
+	if s.AwakeAttributed != 11 || s.AwakeEvents != 2 {
+		t.Errorf("awake totals = %d attributed, %d events", s.AwakeAttributed, s.AwakeEvents)
+	}
+	if s.Sends != 1 || s.Delivers != 1 || s.Lost != 1 || s.SleepGaps != 1 || s.Crashes != 1 {
+		t.Errorf("event counts = %+v", s)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	s := Summarize(Meta{N: 2, Rounds: 20}, []Event{
+		{Kind: KindPhase, Round: 1, Node: 0, Phase: 1},
+		{Kind: KindStep, Round: 5, Node: 0, Phase: 1, Step: StepFindMOE, Aux: 4},
+	})
+	out := s.Table()
+	for _, want := range []string{"trace summary", "phase", "find-moe", "merge", "awake rounds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header, one phase row, totals row, then the three footer lines.
+	if len(lines) != 7 {
+		t.Errorf("got %d lines, want 7:\n%s", len(lines), out)
+	}
+}
+
+func TestSummarizePhaseOrderFromUnsortedPhases(t *testing.T) {
+	// Phase numbers can first appear out of order when a node stream
+	// dropped early events; the summary must still sort them.
+	s := Summarize(Meta{}, []Event{
+		{Kind: KindStep, Round: 9, Node: 0, Phase: 3, Step: StepMerge, Aux: 1},
+		{Kind: KindStep, Round: 9, Node: 1, Phase: 1, Step: StepMerge, Aux: 1},
+		{Kind: KindStep, Round: 9, Node: 2, Phase: 2, Step: StepMerge, Aux: 1},
+	})
+	for i, want := range []int32{1, 2, 3} {
+		if s.Phases[i].Phase != want {
+			t.Fatalf("phase order = %v", s.Phases)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"strings"
@@ -7,13 +7,13 @@ import (
 	"sleepmst/internal/chaos"
 	"sleepmst/internal/core"
 	"sleepmst/internal/graph"
-	"sleepmst/internal/sim"
+	"sleepmst/internal/trace"
 )
 
-// chaosResult fabricates a run in which node 1 crashed at round 40 and
+// chaosView fabricates a run in which node 1 crashed at round 40 and
 // node 2 crashed before ever waking.
-func chaosResult() *sim.Result {
-	return &sim.Result{
+func chaosView() trace.RunView {
+	return trace.RunView{
 		Rounds:       100,
 		AwakePerNode: []int64{4, 2, 0},
 		AwakeRounds:  [][]int64{{1, 2, 50, 100}, {1, 2}, {}},
@@ -22,7 +22,7 @@ func chaosResult() *sim.Result {
 }
 
 func TestTimelineCrashMarkers(t *testing.T) {
-	out := Timeline(chaosResult(), 10)
+	out := trace.Timeline(chaosView(), 10)
 	if !strings.Contains(out, "'x' = crashed") {
 		t.Errorf("legend missing crash marker:\n%s", out)
 	}
@@ -62,26 +62,38 @@ func TestTimelineCrashMarkers(t *testing.T) {
 	}
 }
 
+// TestTimelineCrashBeyondLastRound is the regression test for the
+// clamp contract: a crash scheduled past the run's last round must be
+// pinned to the final column and flagged, never silently dropped.
 func TestTimelineCrashBeyondLastRound(t *testing.T) {
-	res := &sim.Result{
+	v := trace.RunView{
 		Rounds:       10,
 		AwakePerNode: []int64{1},
 		AwakeRounds:  [][]int64{{1}},
 		CrashRound:   []int64{25}, // scheduled past the run's end
 	}
-	out := Timeline(res, 8)
-	if !strings.Contains(out, "crashed@25") {
+	out := trace.Timeline(v, 8)
+	if !strings.Contains(out, "crashed@25 (after end)") {
 		t.Errorf("missing clamped crash marker:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	row := lines[1]
+	bar := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	if bar[len(bar)-1] != 'x' {
+		t.Errorf("clamped crash not pinned to last column: %q", bar)
+	}
+	if bar[len(bar)-2] == 'x' {
+		t.Errorf("clamped crash bled past the last column: %q", bar)
 	}
 }
 
 func TestTimelineZeroAwakeWithoutCrash(t *testing.T) {
-	res := &sim.Result{
+	v := trace.RunView{
 		Rounds:       10,
 		AwakePerNode: []int64{0, 1},
 		AwakeRounds:  [][]int64{{}, {3}},
 	}
-	out := Timeline(res, 8) // must not panic
+	out := trace.Timeline(v, 8) // must not panic
 	if !strings.Contains(out, "awake=0") {
 		t.Errorf("zero-awake node missing:\n%s", out)
 	}
@@ -103,7 +115,7 @@ func TestTimelineFromChaosRun(t *testing.T) {
 	if out == nil || out.Result == nil {
 		t.Skip("run failed before producing metrics")
 	}
-	text := Timeline(out.Result, 40)
+	text := trace.Timeline(out.Result.TraceView(), 40)
 	if !strings.Contains(text, "crashed@4") {
 		t.Errorf("timeline missing crash marker:\n%s", text)
 	}

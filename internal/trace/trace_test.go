@@ -3,12 +3,10 @@ package trace
 import (
 	"strings"
 	"testing"
-
-	"sleepmst/internal/sim"
 )
 
-func sampleResult() *sim.Result {
-	return &sim.Result{
+func sampleView() RunView {
+	return RunView{
 		Rounds:       100,
 		AwakePerNode: []int64{2, 3},
 		AwakeRounds:  [][]int64{{1, 50}, {1, 99, 100}},
@@ -16,7 +14,7 @@ func sampleResult() *sim.Result {
 }
 
 func TestTimelineMarksBuckets(t *testing.T) {
-	out := Timeline(sampleResult(), 10)
+	out := Timeline(sampleView(), 10)
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 3 {
 		t.Fatalf("got %d lines:\n%s", len(lines), out)
@@ -33,29 +31,46 @@ func TestTimelineMarksBuckets(t *testing.T) {
 }
 
 func TestTimelineWithoutRecording(t *testing.T) {
-	out := Timeline(&sim.Result{Rounds: 5, AwakePerNode: []int64{1}}, 10)
+	out := Timeline(RunView{Rounds: 5, AwakePerNode: []int64{1}}, 10)
 	if !strings.Contains(out, "not recorded") {
 		t.Errorf("output = %q", out)
 	}
 }
 
 func TestTimelineEmptyRun(t *testing.T) {
-	out := Timeline(&sim.Result{AwakeRounds: [][]int64{}}, 10)
+	out := Timeline(RunView{AwakeRounds: [][]int64{}}, 10)
 	if !strings.Contains(out, "empty") {
 		t.Errorf("output = %q", out)
 	}
 }
 
 func TestTimelineDefaultWidth(t *testing.T) {
-	out := Timeline(sampleResult(), 0)
+	out := Timeline(sampleView(), 0)
 	if !strings.Contains(out, "64 columns") {
 		t.Errorf("default width not applied:\n%s", out)
 	}
 }
 
+func TestRunViewClip(t *testing.T) {
+	v := RunView{
+		Rounds:       10,
+		AwakePerNode: []int64{1, 2, 3},
+		AwakeRounds:  [][]int64{{1}, {2}, {3}},
+		CrashRound:   []int64{0, 5, 0},
+	}
+	c := v.Clip(2)
+	if len(c.AwakePerNode) != 2 || len(c.AwakeRounds) != 2 || len(c.CrashRound) != 2 {
+		t.Fatalf("clip kept %d/%d/%d entries, want 2 each",
+			len(c.AwakePerNode), len(c.AwakeRounds), len(c.CrashRound))
+	}
+	if len(v.AwakePerNode) != 3 {
+		t.Fatalf("clip mutated the original view")
+	}
+}
+
 func TestHistogram(t *testing.T) {
-	res := &sim.Result{AwakePerNode: []int64{1, 1, 1, 5}}
-	out := Histogram(res, 20)
+	v := RunView{AwakePerNode: []int64{1, 1, 1, 5}}
+	out := Histogram(v, 20)
 	if !strings.Contains(out, "1 : #################### 3") {
 		t.Errorf("histogram:\n%s", out)
 	}
@@ -65,5 +80,26 @@ func TestHistogram(t *testing.T) {
 	// Rows for absent counts (0, 2, 3, 4) are skipped.
 	if strings.Contains(out, "\n           2 :") {
 		t.Errorf("unexpected empty row:\n%s", out)
+	}
+}
+
+// TestHistogramAnnotatesCrashedNodes is the regression test for the
+// misleading awake=0 row: two nodes crash-stopped before ever waking
+// must be flagged as crashed, not lumped in with nodes that slept by
+// choice.
+func TestHistogramAnnotatesCrashedNodes(t *testing.T) {
+	v := RunView{
+		AwakePerNode: []int64{0, 0, 0, 4},
+		CrashRound:   []int64{1, 2, 0, 0},
+	}
+	out := Histogram(v, 20)
+	if !strings.Contains(out, "(2 crashed)") {
+		t.Errorf("awake=0 row missing crash annotation:\n%s", out)
+	}
+	// The annotation sits on the awake=0 row, not the awake=4 one.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " 4 ") && strings.Contains(line, "crashed") {
+			t.Errorf("uncrashed row annotated: %q", line)
+		}
 	}
 }

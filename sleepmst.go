@@ -26,13 +26,16 @@ package sleepmst
 
 import (
 	"fmt"
+	"io"
 
 	"sleepmst/internal/chaos"
 	"sleepmst/internal/core"
 	"sleepmst/internal/graph"
 	"sleepmst/internal/ldt"
 	"sleepmst/internal/lowerbound"
+	"sleepmst/internal/metrics"
 	"sleepmst/internal/sim"
+	"sleepmst/internal/trace"
 )
 
 // Graph is a weighted undirected network with CONGEST port numbering.
@@ -75,6 +78,8 @@ const (
 	ClassicGHS
 )
 
+// String returns the CLI spelling of the algorithm name, as accepted
+// by cmd/sleepsim -algo and cmd/mstbench -trace-algos.
 func (a Algorithm) String() string {
 	switch a {
 	case Randomized:
@@ -261,6 +266,63 @@ func AggregateMin(g *Graph, values []int64, opts Options) (*AggregateResult, err
 // O(log n) awake rounds w.h.p.
 func BroadcastFrom(g *Graph, source int, value int64, opts Options) (*AggregateResult, error) {
 	return core.BroadcastFrom(g, source, value, opts)
+}
+
+// Observability ------------------------------------------------------------
+
+// TraceRecorder is the structured event recorder: set Options.Trace
+// to one and the simulator and algorithms record node wake/sleep,
+// message send/deliver/lost, phase and step boundaries, and fragment
+// merges into per-stream ring buffers. Recording is off (and free)
+// when Options.Trace is nil.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one recorded simulator or algorithm event.
+type TraceEvent = trace.Event
+
+// TraceMeta describes a recorded trace: node count, rounds, event and
+// dropped-event counts.
+type TraceMeta = trace.Meta
+
+// TraceSummary aggregates a trace into per-phase awake budgets and
+// message totals; see SummarizeTrace.
+type TraceSummary = trace.Summary
+
+// NewTraceRecorder returns an event recorder with the given total
+// ring capacity in events (0 = the package default).
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// SummarizeTrace reduces a trace to its per-phase awake-budget table
+// (the same report as `mstbench -exp trace`).
+func SummarizeTrace(meta TraceMeta, events []TraceEvent) TraceSummary {
+	return trace.Summarize(meta, events)
+}
+
+// ReadTraceJSONL parses a JSONL trace written by
+// TraceRecorder.WriteJSONL back into its meta record and events.
+func ReadTraceJSONL(r io.Reader) (TraceMeta, []TraceEvent, error) {
+	return trace.ReadJSONL(r)
+}
+
+// MetricsRegistry is the deterministic counter registry: set
+// Options.Metrics to one and the run reports awake rounds per phase
+// and per step, MOE probes and candidates, merge waves and depth, and
+// per-kind message tallies. (The shorter name Metrics already names
+// the simulator's measurement record above.)
+type MetricsRegistry = metrics.Registry
+
+// Metric is one named counter (or running max) snapshotted from a
+// MetricsRegistry.
+type Metric = metrics.Metric
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// MergeMetricsRegistries folds per-worker registries into one in
+// deterministic order; use it to aggregate sweeps (every counter is
+// commutative, so the result is worker-count independent).
+func MergeMetricsRegistries(regs []*MetricsRegistry) *MetricsRegistry {
+	return metrics.MergeAll(regs)
 }
 
 // Chaos runtime ------------------------------------------------------------
