@@ -9,8 +9,8 @@
 //	doccheck [dir ...]
 //
 // With no arguments it checks the repository's audited set: the
-// facade package (.), internal/trace, internal/metrics, and
-// internal/prof.
+// facade package (.), internal/trace, internal/metrics,
+// internal/prof, and internal/conform.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 // auditedDirs is the default package set; keep it in sync with the
 // CI doccheck step and DESIGN.md §8.
-var auditedDirs = []string{".", "internal/trace", "internal/metrics", "internal/prof"}
+var auditedDirs = []string{".", "internal/trace", "internal/metrics", "internal/prof", "internal/conform"}
 
 func main() {
 	flag.Parse()

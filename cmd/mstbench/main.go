@@ -21,6 +21,16 @@
 //	               the recorder on (optionally writing the JSONL to
 //	               -trace-out), or summarize an existing trace given
 //	               with -trace-in.
+//	-exp conform — trace-replay conformance: run each -trace-algos
+//	               algorithm (default: all three sleeping algorithms)
+//	               at the largest -sizes value and verify the paper's
+//	               invariant catalog on the trace (awake budgets,
+//	               merge waves, sparsification degree, causality, MST
+//	               weight); or check an existing -trace-in stream,
+//	               with -conform-algo naming its algorithm. The
+//	               verdicts go to stdout and, with -conform-out, to a
+//	               machine-readable JSON artifact; exits non-zero on
+//	               any failed invariant.
 //
 // -pprof <prefix> writes CPU and heap profiles of whatever the
 // invocation runs.
@@ -49,7 +59,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|thm3|fig1|thm4|decay|all|bench|trace")
+		exp     = flag.String("exp", "all", "experiment: table1|thm3|fig1|thm4|decay|all|bench|trace|conform")
 		sizes   = flag.String("sizes", "32,64,128,256,512", "comma-separated n values for sweeps")
 		seeds   = flag.Int("seeds", 3, "seeds per configuration")
 		degF    = flag.Int("deg", 3, "edge density multiplier (m = deg*n)")
@@ -65,6 +75,9 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write -exp trace JSONL traces to this path (multi-algo: '.<algo>' inserted)")
 		traceIn    = flag.String("trace-in", "", "summarize this JSONL trace instead of running (implies -exp trace)")
 		traceCap   = flag.Int("trace-cap", 0, "recorder event capacity for -exp trace (0 = default; overflow drops oldest events)")
+
+		conformAlgo = flag.String("conform-algo", "", "algorithm that produced the -trace-in stream (enables its awake-budget check)")
+		conformOut  = flag.String("conform-out", "", "write -exp conform verdicts to this path as JSON")
 	)
 	flag.Parse()
 
@@ -90,6 +103,13 @@ func main() {
 		os.Exit(code)
 	}
 
+	if *exp == "conform" {
+		algos := *traceAlgos
+		if !flagWasSet("trace-algos") {
+			algos = "randomized,deterministic,logstar"
+		}
+		exit(h.conformCommand(algos, *traceIn, *conformAlgo, *conformOut, *traceCap))
+	}
 	if *exp == "trace" || *traceIn != "" {
 		exit(h.traceCommand(*traceAlgos, *traceIn, *traceOut, *traceCap))
 	}

@@ -1,0 +1,190 @@
+// Command tracediff compares two structured JSONL traces written by
+// `mstbench -exp trace` (or any trace.Recorder.WriteJSONL stream) and
+// reports where they diverge: run-level meta, per-kind event counts,
+// the per-phase awake-budget breakdown, and the first event at which
+// the canonical streams differ. Because the trace schema is
+// deterministic for a fixed seed, two runs of the same (algorithm,
+// graph, seed) must diff clean — any divergence is a reproducibility
+// regression; across seeds or code versions the diff localises the
+// first behavioural difference.
+//
+// Usage:
+//
+//	tracediff a.jsonl b.jsonl
+//
+// Exit status: 0 when the traces are identical, 1 when they diverge,
+// 2 on usage or read errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sleepmst/internal/trace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tracediff a.jsonl b.jsonl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	code, err := run(os.Stdout, flag.Arg(0), flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run diffs the two trace files, writing the report to w, and returns
+// the process exit code (0 identical, 1 divergent).
+func run(w io.Writer, pathA, pathB string) (int, error) {
+	metaA, eventsA, err := readTrace(pathA)
+	if err != nil {
+		return 2, err
+	}
+	metaB, eventsB, err := readTrace(pathB)
+	if err != nil {
+		return 2, err
+	}
+	if diff(w, pathA, pathB, metaA, eventsA, metaB, eventsB) {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// readTrace parses one JSONL trace file.
+func readTrace(path string) (trace.Meta, []trace.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.Meta{}, nil, err
+	}
+	defer f.Close()
+	meta, events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return meta, nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return meta, events, nil
+}
+
+// diff writes the divergence report and reports whether the traces
+// differ at all.
+func diff(w io.Writer, pathA, pathB string, metaA trace.Meta, eventsA []trace.Event, metaB trace.Meta, eventsB []trace.Event) bool {
+	divergent := false
+	if metaA != metaB {
+		divergent = true
+		fmt.Fprintf(w, "meta           : n %d/%d  rounds %d/%d  events %d/%d  dropped %d/%d\n",
+			metaA.N, metaB.N, metaA.Rounds, metaB.Rounds, metaA.Events, metaB.Events, metaA.Dropped, metaB.Dropped)
+	}
+	divergent = diffKinds(w, eventsA, eventsB) || divergent
+	divergent = diffPhases(w, metaA, eventsA, metaB, eventsB) || divergent
+	divergent = firstDivergence(w, eventsA, eventsB) || divergent
+	if !divergent {
+		fmt.Fprintf(w, "traces identical: %d events, %s == %s\n", len(eventsA), pathA, pathB)
+	}
+	return divergent
+}
+
+// diffKinds reports per-kind event-count deltas.
+func diffKinds(w io.Writer, eventsA, eventsB []trace.Event) bool {
+	var countA, countB [trace.KindNbrs + 1]int64
+	for _, ev := range eventsA {
+		countA[ev.Kind]++
+	}
+	for _, ev := range eventsB {
+		countB[ev.Kind]++
+	}
+	divergent := false
+	for k := trace.KindPhase; k <= trace.KindNbrs; k++ {
+		if countA[k] != countB[k] {
+			if !divergent {
+				fmt.Fprintf(w, "event kinds    : %-8s %8s %8s %8s\n", "kind", "a", "b", "delta")
+				divergent = true
+			}
+			fmt.Fprintf(w, "                 %-8s %8d %8d %+8d\n", k, countA[k], countB[k], countB[k]-countA[k])
+		}
+	}
+	return divergent
+}
+
+// diffPhases compares the per-phase awake-budget breakdown of the two
+// traces (trace.Summarize on each side, aligned by phase number).
+func diffPhases(w io.Writer, metaA trace.Meta, eventsA []trace.Event, metaB trace.Meta, eventsB []trace.Event) bool {
+	sumA := trace.Summarize(metaA, eventsA)
+	sumB := trace.Summarize(metaB, eventsB)
+	byPhase := map[int32][2]*trace.PhaseBudget{}
+	var order []int32
+	for i := range sumA.Phases {
+		p := &sumA.Phases[i]
+		byPhase[p.Phase] = [2]*trace.PhaseBudget{p, nil}
+		order = append(order, p.Phase)
+	}
+	for i := range sumB.Phases {
+		p := &sumB.Phases[i]
+		pair, ok := byPhase[p.Phase]
+		if !ok {
+			byPhase[p.Phase] = [2]*trace.PhaseBudget{nil, p}
+			order = append(order, p.Phase)
+			continue
+		}
+		pair[1] = p
+		byPhase[p.Phase] = pair
+	}
+	for i := 1; i < len(order); i++ { // phases arrive nearly sorted
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	divergent := false
+	for _, ph := range order {
+		pair := byPhase[ph]
+		var awakeA, awakeB, mergesA, mergesB int64
+		if pair[0] != nil {
+			awakeA, mergesA = pair[0].Awake, pair[0].Merges
+		}
+		if pair[1] != nil {
+			awakeB, mergesB = pair[1].Awake, pair[1].Merges
+		}
+		if awakeA == awakeB && mergesA == mergesB && pair[0] != nil && pair[1] != nil {
+			continue
+		}
+		if !divergent {
+			fmt.Fprintf(w, "phase awake    : %5s %8s %8s %8s %14s\n", "phase", "a", "b", "delta", "merges a/b")
+			divergent = true
+		}
+		fmt.Fprintf(w, "                 %5d %8d %8d %+8d %8d/%d\n", ph, awakeA, awakeB, awakeB-awakeA, mergesA, mergesB)
+	}
+	return divergent
+}
+
+// firstDivergence reports the first index at which the canonical
+// event streams differ, with both sides' JSONL renderings.
+func firstDivergence(w io.Writer, eventsA, eventsB []trace.Event) bool {
+	limit := len(eventsA)
+	if len(eventsB) < limit {
+		limit = len(eventsB)
+	}
+	for i := 0; i < limit; i++ {
+		if eventsA[i] != eventsB[i] {
+			fmt.Fprintf(w, "first divergence: event %d\n  a: %s\n  b: %s\n", i, eventsA[i], eventsB[i])
+			return true
+		}
+	}
+	if len(eventsA) != len(eventsB) {
+		fmt.Fprintf(w, "first divergence: event %d\n", limit)
+		if len(eventsA) > limit {
+			fmt.Fprintf(w, "  a: %s\n  b: <absent: stream ends at %d events>\n", eventsA[limit], len(eventsB))
+		} else {
+			fmt.Fprintf(w, "  a: <absent: stream ends at %d events>\n  b: %s\n", len(eventsA), eventsB[limit])
+		}
+		return true
+	}
+	return false
+}

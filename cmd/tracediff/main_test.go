@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sleepmst"
+	"sleepmst/internal/trace"
+)
+
+// writeRunTrace records one Randomized-MST run and writes its JSONL
+// trace, returning the file path.
+func writeRunTrace(t *testing.T, dir, name string, seed int64) string {
+	t.Helper()
+	g := sleepmst.RandomConnected(24, 72, 7)
+	rec := sleepmst.NewTraceRecorder(0)
+	if _, err := sleepmst.Run(sleepmst.Randomized, g, sleepmst.Options{Seed: seed, Trace: rec}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := rec.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIdenticalSeedsDiffClean(t *testing.T) {
+	dir := t.TempDir()
+	a := writeRunTrace(t, dir, "a.jsonl", 5)
+	b := writeRunTrace(t, dir, "b.jsonl", 5)
+	var out strings.Builder
+	code, err := run(&out, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("identical-seed traces diverged (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "traces identical") {
+		t.Errorf("missing identical banner:\n%s", out.String())
+	}
+}
+
+func TestDifferentSeedsReportFirstDivergence(t *testing.T) {
+	dir := t.TempDir()
+	a := writeRunTrace(t, dir, "a.jsonl", 5)
+	b := writeRunTrace(t, dir, "b.jsonl", 6)
+	var out strings.Builder
+	code, err := run(&out, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("different-seed traces did not diverge (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "first divergence: event ") {
+		t.Errorf("missing first-divergence line:\n%s", out.String())
+	}
+}
+
+func TestDiffDetectsMetaAndLengthDrift(t *testing.T) {
+	metaA := trace.Meta{N: 4, Rounds: 2, Events: 2}
+	eventsA := []trace.Event{
+		{Kind: trace.KindAwake, Round: 1, Node: 0},
+		{Kind: trace.KindAwake, Round: 2, Node: 1},
+	}
+	metaB := trace.Meta{N: 4, Rounds: 1, Events: 1}
+	eventsB := eventsA[:1]
+	var out strings.Builder
+	if !diff(&out, "a", "b", metaA, eventsA, metaB, eventsB) {
+		t.Fatal("prefix trace did not diverge")
+	}
+	got := out.String()
+	for _, want := range []string{"meta", "awake", "<absent"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunReportsReadErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"k":"mystery"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := writeRunTrace(t, dir, "good.jsonl", 5)
+	var out strings.Builder
+	if _, err := run(&out, good, bad); err == nil {
+		t.Fatal("unknown-kind trace parsed without error")
+	}
+	if _, err := run(&out, filepath.Join(dir, "missing.jsonl"), good); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

@@ -1,0 +1,83 @@
+package sleepmst
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sleepmst/internal/graph"
+)
+
+// goldenVerdictJSON runs the golden configuration (the same run that
+// produces testdata/trace_golden.jsonl) and renders its conformance
+// verdict — full catalog plus MST-weight agreement — as JSON.
+func goldenVerdictJSON(t *testing.T) []byte {
+	t.Helper()
+	g := RandomConnected(8, 12, 5)
+	rec := NewTraceRecorder(0)
+	rep, err := Run(Randomized, g, Options{Seed: 1, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ConformSuite{
+		Info:        ConformRunInfo{Algorithm: "randomized", Seed: 1},
+		Meta:        rec.Meta(),
+		Events:      rec.Events(),
+		TreeWeight:  rep.MSTWeight(),
+		WantWeight:  graph.TotalWeight(ReferenceMST(g)),
+		CheckWeight: true,
+	}.Verdict()
+	var buf bytes.Buffer
+	if err := v.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestConformVerdictGolden pins the conformance verdict of the golden
+// run: both its JSON shape (check names, statuses, field spelling)
+// and its content are a published contract (DESIGN.md §9). The same
+// UPDATE_GOLDEN=1 pass that rewrites testdata/trace_golden.jsonl
+// rewrites testdata/conform_golden.json:
+//
+//	UPDATE_GOLDEN=1 go test -run 'Golden' .
+func TestConformVerdictGolden(t *testing.T) {
+	got := goldenVerdictJSON(t)
+	golden := filepath.Join("testdata", "conform_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("verdict drifted from golden; run with UPDATE_GOLDEN=1 if intended.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGoldenTraceConformsFromDisk ties the two fixtures together: the
+// committed trace_golden.jsonl, replayed through the checker, must
+// pass the catalog — so a regenerated trace fixture cannot silently
+// encode an invariant violation.
+func TestGoldenTraceConformsFromDisk(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "trace_golden.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	meta, events, err := ReadTraceJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := CheckTraceConformance(meta, events, ConformRunInfo{Algorithm: "randomized", Seed: 1})
+	if !v.Pass {
+		t.Fatalf("committed golden trace violates the catalog:\n%s", v)
+	}
+}

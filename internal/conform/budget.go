@@ -1,0 +1,59 @@
+package conform
+
+import (
+	"math"
+
+	"sleepmst/internal/stats"
+)
+
+// SupergraphDegreeBound is the paper's sparsification bound on the
+// fragment supergraph: at most 3 accepted incoming MOEs plus the
+// fragment's own outgoing MOE. Every KindNbrs event must stay at or
+// below it.
+const SupergraphDegreeBound = 4
+
+// Algorithm names accepted by RunInfo.Algorithm, matching the facade's
+// CLI spellings.
+const (
+	// AlgoRandomized is Algorithm Randomized-MST (§2.2).
+	AlgoRandomized = "randomized"
+	// AlgoDeterministic is Algorithm Deterministic-MST (§2.3).
+	AlgoDeterministic = "deterministic"
+	// AlgoLogStar is the Corollary 1 log*-coloring variant.
+	AlgoLogStar = "logstar"
+)
+
+// Per-algorithm awake-budget constants: the measured worst awake/
+// envelope ratio over seeded RandomConnected(n, 3n) sweeps is ~36
+// (randomized), ~40 (deterministic), and ~27 (logstar, against the
+// log2 n · log* n envelope); the constants below leave ~1.5x headroom
+// so the budget catches regressions without flaking on seed variance.
+const (
+	// BudgetCRandomized bounds Randomized-MST at 56·log2 n awake rounds.
+	BudgetCRandomized = 56
+	// BudgetCDeterministic bounds Deterministic-MST at 60·log2 n.
+	BudgetCDeterministic = 60
+	// BudgetCLogStar bounds the Corollary 1 variant at 44·log2 n·log* n.
+	BudgetCLogStar = 44
+)
+
+// AwakeBudget returns the per-node awake-round budget the algorithm
+// must respect on an n-node run — the paper's Table 1 envelope with
+// the measured constants above. ok is false for algorithms without an
+// awake-optimality claim (baseline, ghs, or an unknown name).
+func AwakeBudget(algo string, n int) (budget int64, ok bool) {
+	if n < 2 {
+		n = 2
+	}
+	logn := math.Log2(float64(n))
+	switch algo {
+	case AlgoRandomized:
+		return int64(math.Ceil(BudgetCRandomized * logn)), true
+	case AlgoDeterministic:
+		return int64(math.Ceil(BudgetCDeterministic * logn)), true
+	case AlgoLogStar:
+		return int64(math.Ceil(BudgetCLogStar * logn * stats.LogStar(float64(n)))), true
+	default:
+		return 0, false
+	}
+}

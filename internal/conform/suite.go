@@ -1,0 +1,55 @@
+package conform
+
+import "sleepmst/internal/trace"
+
+// TB is the subset of *testing.T the suite needs; an interface so the
+// package carries no testing import into non-test binaries.
+type TB interface {
+	// Helper marks the caller as a test helper.
+	Helper()
+	// Errorf reports a test failure.
+	Errorf(format string, args ...interface{})
+}
+
+// Suite bundles one recorded run for conformance assertion in tests:
+// the trace, its run context, and (optionally) the computed tree
+// weight against the Kruskal reference. Callers run the algorithm with
+// a trace.Recorder, then hand the recorder's Meta()/Events() here —
+// the suite itself runs nothing, which keeps it usable from any
+// package without import cycles.
+type Suite struct {
+	// Info is the run context (algorithm, n, seed, relaxations).
+	Info RunInfo
+	// Meta is the trace's run-level header.
+	Meta trace.Meta
+	// Events is the trace in canonical order.
+	Events []trace.Event
+	// TreeWeight and WantWeight, when CheckWeight is set, feed the
+	// mst-weight agreement check.
+	TreeWeight int64
+	// WantWeight is the sequential reference (Kruskal) weight.
+	WantWeight int64
+	// CheckWeight enables the mst-weight check (the zero Suite skips
+	// it: a weight of 0 is not distinguishable from "not provided").
+	CheckWeight bool
+}
+
+// Verdict runs the invariant catalog and returns the verdict.
+func (s Suite) Verdict() *Verdict {
+	v := CheckTrace(s.Meta, s.Events, s.Info)
+	if s.CheckWeight {
+		v.Append(WeightCheck(s.TreeWeight, s.WantWeight))
+	}
+	return v
+}
+
+// Assert runs the catalog and reports every failed check on t. It
+// returns the verdict so tests can inspect skips or details.
+func (s Suite) Assert(t TB) *Verdict {
+	t.Helper()
+	v := s.Verdict()
+	for _, c := range v.Failures() {
+		t.Errorf("conformance %s/n=%d: %s failed: %s (%d violations)", v.Algo, v.N, c.Name, c.Detail, c.Violations)
+	}
+	return v
+}

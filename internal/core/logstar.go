@@ -480,6 +480,9 @@ func (c *nodeCtx) logStarPhase(phaseStart int64) (done bool) {
 		bcastPayload = agg.(nbrList)
 	}
 	nbrInfo := ldt.Broadcast(c.nd, c.st, bs(dbBcastNbr), bcastPayload).(nbrList)
+	if c.st.IsRoot() {
+		c.nd.EmitNbrs(c.phase, len(nbrInfo))
+	}
 	c.stepDone(trace.StepNbrInfo)
 
 	// --- Step (ii): log* coloring + merging -----------------------------

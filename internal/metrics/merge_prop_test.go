@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// propNames is a small pool so random registries collide on keys —
+// the interesting case for merge algebra.
+var propNames = []string{
+	"msgs/send", "msgs/deliver", "moe/probes", "merge/waves",
+	"awake/steps", "phase/count", "sim/rounds", "frag/final",
+}
+
+// randomRegistry builds a registry from a deterministic operation
+// stream: random Adds on counters and Maxes on high-water marks.
+func randomRegistry(rng *rand.Rand) *Registry {
+	r := New()
+	for i, ops := 0, 5+rng.Intn(30); i < ops; i++ {
+		name := propNames[rng.Intn(len(propNames))]
+		if rng.Intn(3) == 0 {
+			r.Max("peak/"+name, rng.Int63n(1000))
+		} else {
+			r.Add(name, rng.Int63n(100))
+		}
+	}
+	return r
+}
+
+// merged folds the given registries into a fresh one, left to right.
+func merged(regs ...*Registry) *Registry {
+	out := New()
+	for _, r := range regs {
+		out.Merge(r)
+	}
+	return out
+}
+
+// TestMergeCommutativeAssociative is the property behind the sweep
+// engine's worker-count independence: for arbitrary registries,
+// a⊕b == b⊕a and (a⊕b)⊕c == a⊕(b⊕c), compared via the canonical
+// String rendering (which sorts names, so it is the full state).
+func TestMergeCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 60; trial++ {
+		a, b, c := randomRegistry(rng), randomRegistry(rng), randomRegistry(rng)
+		ab, ba := merged(a, b), merged(b, a)
+		if ab.String() != ba.String() {
+			t.Fatalf("trial %d: merge not commutative:\na⊕b:\n%s\nb⊕a:\n%s", trial, ab, ba)
+		}
+		left, right := merged(merged(a, b), c), merged(a, merged(b, c))
+		if left.String() != right.String() {
+			t.Fatalf("trial %d: merge not associative:\n(a⊕b)⊕c:\n%s\na⊕(b⊕c):\n%s", trial, left, right)
+		}
+	}
+}
+
+// TestMergeIdentityAndIdempotentInputs pins the algebra's edges: the
+// empty registry is a two-sided identity, and merging must not mutate
+// its argument.
+func TestMergeIdentityAndIdempotentInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomRegistry(rng)
+	before := a.String()
+	if got := merged(New(), a).String(); got != before {
+		t.Errorf("empty⊕a != a:\n%s\nvs\n%s", got, before)
+	}
+	if got := merged(a, New()).String(); got != before {
+		t.Errorf("a⊕empty != a:\n%s\nvs\n%s", got, before)
+	}
+	sink := merged(a, a)
+	if a.String() != before {
+		t.Errorf("Merge mutated its argument:\n%s\nvs\n%s", a, before)
+	}
+	_ = sink
+}

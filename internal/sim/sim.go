@@ -384,6 +384,16 @@ func (nd *Node) EmitMerge(prev, frag int64) {
 	}
 }
 
+// EmitNbrs records the node's fragment-supergraph degree deg in the
+// given phase (emitted by fragment roots after the NBR-INFO
+// broadcast), stamped with the node's next wake round. No-op without a
+// configured trace recorder.
+func (nd *Node) EmitNbrs(phase, deg int) {
+	if rec := nd.rt.cfg.Trace; rec != nil {
+		rec.Nbrs(nd.idx, nd.wake, phase, deg)
+	}
+}
+
 // SleepUntil schedules the next Exchange for round r. It panics if r
 // precedes the node's next available round (a programming error in the
 // algorithm, not a runtime condition) — unless an interceptor already

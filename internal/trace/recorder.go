@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // Kind enumerates the structured trace event types. The numeric order
@@ -39,6 +40,11 @@ const (
 	KindLost
 	// KindCrash reports a node being crash-stopped by an interceptor.
 	KindCrash
+	// KindNbrs reports a fragment root's supergraph degree after the
+	// NBR-INFO broadcast (deterministic variants only): Aux is the
+	// number of accepted supergraph edges, bounded by 4 per the paper's
+	// sparsification.
+	KindNbrs
 )
 
 // String returns the JSONL name of the kind.
@@ -62,6 +68,8 @@ func (k Kind) String() string {
 		return "lost"
 	case KindCrash:
 		return "crash"
+	case KindNbrs:
+		return "nbrs"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -157,6 +165,8 @@ func ParseStep(s string) (Step, error) {
 //	KindLost:    Round, Node (sender), Port (sender's port), Peer
 //	             (intended receiver)
 //	KindCrash:   Round (crash-stop round), Node
+//	KindNbrs:    Round (round after the NBR-INFO broadcast), Node (the
+//	             fragment root), Phase, Aux (supergraph degree)
 type Event struct {
 	// Round is the simulated round the event belongs to.
 	Round int64
@@ -349,6 +359,13 @@ func (r *Recorder) Merge(node int, round int64, prev, frag int64) {
 	r.nodes[node].push(r.nodeCap, Event{Kind: KindMerge, Round: round, Node: int32(node), Frag: frag, Prev: prev})
 }
 
+// Nbrs records a fragment root's supergraph degree deg (its NBR-INFO
+// entry count) in the given phase; round is the node's next wake
+// round. Node side.
+func (r *Recorder) Nbrs(node int, round int64, phase int, deg int) {
+	r.nodes[node].push(r.nodeCap, Event{Kind: KindNbrs, Round: round, Node: int32(node), Phase: int32(phase), Aux: int64(deg)})
+}
+
 // indexed attaches the stream coordinates used as the final sort
 // tiebreak.
 type indexed struct {
@@ -450,5 +467,15 @@ func writeEvent(w io.Writer, ev Event) {
 		fmt.Fprintf(w, `{"k":"lost","r":%d,"v":%d,"p":%d,"to":%d}`+"\n", ev.Round, ev.Node, ev.Port, ev.Peer)
 	case KindCrash:
 		fmt.Fprintf(w, `{"k":"crash","r":%d,"v":%d}`+"\n", ev.Round, ev.Node)
+	case KindNbrs:
+		fmt.Fprintf(w, `{"k":"nbrs","r":%d,"v":%d,"ph":%d,"deg":%d}`+"\n", ev.Round, ev.Node, ev.Phase, ev.Aux)
 	}
+}
+
+// String renders the event as its JSONL line (without the trailing
+// newline), the same bytes WriteJSONL emits for it.
+func (ev Event) String() string {
+	var b strings.Builder
+	writeEvent(&b, ev)
+	return strings.TrimSuffix(b.String(), "\n")
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -23,6 +24,7 @@ type jsonlLine struct {
 	Aw      int64  `json:"aw"`
 	F       int64  `json:"f"`
 	Pf      int64  `json:"pf"`
+	Deg     int64  `json:"deg"`
 	Rounds  int64  `json:"rounds"`
 	Events  int64  `json:"events"`
 	Dropped int64  `json:"dropped"`
@@ -30,8 +32,9 @@ type jsonlLine struct {
 
 // ReadJSONL parses a trace stream written by Recorder.WriteJSONL and
 // returns its run-level meta plus the events in stream order (which is
-// the canonical order). Unknown event kinds are an error so schema
-// drift fails loudly.
+// the canonical order). Unknown event kinds, negative coordinates, and
+// malformed lines are errors so schema drift and corruption fail
+// loudly instead of poisoning downstream aggregation.
 func ReadJSONL(r io.Reader) (Meta, []Event, error) {
 	var meta Meta
 	var events []Event
@@ -47,6 +50,9 @@ func ReadJSONL(r io.Reader) (Meta, []Event, error) {
 		var ln jsonlLine
 		if err := json.Unmarshal([]byte(raw), &ln); err != nil {
 			return meta, nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		if ln.R < 0 || ln.V < 0 || ln.P < 0 || ln.N < 0 || ln.Ph < 0 || ln.To < 0 || ln.From < 0 || ln.Aw < 0 {
+			return meta, nil, fmt.Errorf("trace: line %d: negative coordinate in %q event", lineNo, ln.K)
 		}
 		switch ln.K {
 		case "begin":
@@ -72,11 +78,19 @@ func ReadJSONL(r io.Reader) (Meta, []Event, error) {
 		case "send":
 			events = append(events, Event{Kind: KindSend, Round: ln.R, Node: ln.V, Port: ln.P, Peer: ln.To})
 		case "deliver":
+			if ln.From > math.MaxInt32 {
+				return meta, nil, fmt.Errorf("trace: line %d: sender %d overflows the node range", lineNo, ln.From)
+			}
 			events = append(events, Event{Kind: KindDeliver, Round: ln.R, Node: ln.V, Port: ln.P, Peer: int32(ln.From)})
 		case "lost":
 			events = append(events, Event{Kind: KindLost, Round: ln.R, Node: ln.V, Port: ln.P, Peer: ln.To})
 		case "crash":
 			events = append(events, Event{Kind: KindCrash, Round: ln.R, Node: ln.V})
+		case "nbrs":
+			if ln.Deg < 0 {
+				return meta, nil, fmt.Errorf("trace: line %d: negative degree in nbrs event", lineNo)
+			}
+			events = append(events, Event{Kind: KindNbrs, Round: ln.R, Node: ln.V, Phase: ln.Ph, Aux: ln.Deg})
 		default:
 			return meta, nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, ln.K)
 		}

@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"sleepmst/internal/chaos"
+	"sleepmst/internal/conform"
 	"sleepmst/internal/core"
 	"sleepmst/internal/graph"
 	"sleepmst/internal/ldt"
@@ -302,6 +303,34 @@ func SummarizeTrace(meta TraceMeta, events []TraceEvent) TraceSummary {
 // TraceRecorder.WriteJSONL back into its meta record and events.
 func ReadTraceJSONL(r io.Reader) (TraceMeta, []TraceEvent, error) {
 	return trace.ReadJSONL(r)
+}
+
+// Conformance ---------------------------------------------------------------
+
+// ConformRunInfo is the run context handed to the conformance
+// checker: algorithm name (enables its awake-budget envelope), node
+// count, seed, and the chaos-mode relaxations.
+type ConformRunInfo = conform.RunInfo
+
+// ConformCheck is one invariant's outcome (pass, fail, or skip) in a
+// conformance verdict.
+type ConformCheck = conform.Check
+
+// ConformVerdict is the result of replaying the invariant catalog
+// over one trace; see CheckTraceConformance.
+type ConformVerdict = conform.Verdict
+
+// ConformSuite bundles a recorded run (trace plus optional MST-weight
+// reference) for conformance assertion inside tests.
+type ConformSuite = conform.Suite
+
+// CheckTraceConformance replays the paper's invariant catalog over a
+// recorded trace — awake budgets within the Table 1 envelopes, awake
+// attribution, tails-into-heads merge waves, fragment decay, ≤ 4
+// supergraph degree, message causality — and returns the per-check
+// verdict (the same report as `mstbench -exp conform`).
+func CheckTraceConformance(meta TraceMeta, events []TraceEvent, info ConformRunInfo) *ConformVerdict {
+	return conform.CheckTrace(meta, events, info)
 }
 
 // MetricsRegistry is the deterministic counter registry: set
