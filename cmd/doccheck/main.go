@@ -25,7 +25,7 @@ import (
 
 // auditedDirs is the default package set; keep it in sync with the
 // CI doccheck step and DESIGN.md §8.
-var auditedDirs = []string{".", "internal/trace", "internal/metrics", "internal/prof", "internal/conform"}
+var auditedDirs = []string{".", "internal/trace", "internal/metrics", "internal/prof", "internal/conform", "internal/problem"}
 
 func main() {
 	flag.Parse()

@@ -9,7 +9,7 @@ import (
 
 	"sleepmst"
 	"sleepmst/internal/conform"
-	"sleepmst/internal/graph"
+	"sleepmst/internal/problem"
 	"sleepmst/internal/trace"
 )
 
@@ -38,18 +38,31 @@ func flagWasSet(name string) bool {
 }
 
 // conformCommand implements -exp conform. With traceIn it checks an
-// existing JSONL stream (algoHint names its algorithm so the budget
-// check can run); otherwise it runs every listed algorithm at the
-// largest -sizes value with the recorder on and checks each fresh
-// trace, including MST-weight agreement against Kruskal. Verdicts are
-// printed, optionally written to outPath as JSON, and any failed
-// invariant makes the exit status non-zero.
+// existing JSONL stream (algoHint names its problem — a qualified name
+// like mis or mst/randomized, or a bare MST alias — so its awake
+// envelope can be checked); otherwise it runs every listed problem at
+// the largest -sizes value with the recorder on and checks each fresh
+// trace, appending the problem's correctness oracle (MST-weight
+// agreement against Kruskal, or MIS validity). Unknown problem names
+// are rejected with the list of valid choices. Verdicts are printed,
+// optionally written to outPath as JSON, and any failed invariant
+// makes the exit status non-zero.
 func (h *harness) conformCommand(algoList, traceIn, algoHint, outPath string, traceCap int) int {
 	if traceCap <= 0 {
 		traceCap = conformRecorderCap
 	}
 	var verdicts []*conform.Verdict
 	if traceIn != "" {
+		info := conform.RunInfo{Algorithm: algoHint}
+		if algoHint != "" {
+			p, err := problem.Lookup(algoHint)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mstbench:", err)
+				return 1
+			}
+			info.Algorithm = p.Name()
+			info.Budget = p.Budget
+		}
 		f, err := os.Open(traceIn)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mstbench:", err)
@@ -62,7 +75,7 @@ func (h *harness) conformCommand(algoList, traceIn, algoHint, outPath string, tr
 			return 1
 		}
 		fmt.Printf("=== trace conformance: %s ===\n", traceIn)
-		v := conform.CheckTrace(meta, events, conform.RunInfo{Algorithm: algoHint})
+		v := conform.CheckTrace(meta, events, info)
 		fmt.Print(v)
 		verdicts = append(verdicts, v)
 	} else {
@@ -73,25 +86,23 @@ func (h *harness) conformCommand(algoList, traceIn, algoHint, outPath string, tr
 			if name == "" {
 				continue
 			}
-			a, err := sleepmst.ParseAlgorithm(name)
+			p, err := problem.Lookup(name)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "mstbench:", err)
 				return 1
 			}
 			g := sleepmst.RandomConnected(n, h.deg*n, int64(n*1000))
 			rec := sleepmst.NewTraceRecorder(traceCap)
-			rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: 1, Trace: rec})
+			r, err := p.Run(g, sleepmst.Options{Seed: 1, Trace: rec})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "mstbench:", err)
 				return 1
 			}
 			v := conform.Suite{
-				Info:        conform.RunInfo{Algorithm: a.String(), N: n, Seed: 1},
-				Meta:        rec.Meta(),
-				Events:      rec.Events(),
-				TreeWeight:  rep.MSTWeight(),
-				WantWeight:  graph.TotalWeight(graph.Kruskal(g)),
-				CheckWeight: true,
+				Info:   conform.RunInfo{Algorithm: p.Name(), N: n, Seed: 1, Budget: p.Budget},
+				Meta:   rec.Meta(),
+				Events: rec.Events(),
+				Extra:  []conform.Check{p.ConformCheck(g, r)},
 			}.Verdict()
 			fmt.Print(v)
 			fmt.Println()

@@ -22,12 +22,16 @@
 //	               -trace-out), or summarize an existing trace given
 //	               with -trace-in.
 //	-exp conform — trace-replay conformance: run each -trace-algos
-//	               algorithm (default: all three sleeping algorithms)
-//	               at the largest -sizes value and verify the paper's
+//	               problem (default: the three sleeping MST algorithms
+//	               plus mis; problem-qualified names like mis or
+//	               mst/randomized and bare MST aliases both work) at
+//	               the largest -sizes value and verify the paper's
 //	               invariant catalog on the trace (awake budgets,
-//	               merge waves, sparsification degree, causality, MST
-//	               weight); or check an existing -trace-in stream,
-//	               with -conform-algo naming its algorithm. The
+//	               merge waves, sparsification degree, causality) plus
+//	               the problem's correctness oracle (MST weight or MIS
+//	               validity); or check an existing -trace-in stream,
+//	               with -conform-algo naming its problem. Unknown
+//	               names are rejected with the valid choices. The
 //	               verdicts go to stdout and, with -conform-out, to a
 //	               machine-readable JSON artifact; exits non-zero on
 //	               any failed invariant.
@@ -76,7 +80,7 @@ func main() {
 		traceIn    = flag.String("trace-in", "", "summarize this JSONL trace instead of running (implies -exp trace)")
 		traceCap   = flag.Int("trace-cap", 0, "recorder event capacity for -exp trace (0 = default; overflow drops oldest events)")
 
-		conformAlgo = flag.String("conform-algo", "", "algorithm that produced the -trace-in stream (enables its awake-budget check)")
+		conformAlgo = flag.String("conform-algo", "", "problem that produced the -trace-in stream, e.g. mis or mst/randomized (enables its awake-budget check)")
 		conformOut  = flag.String("conform-out", "", "write -exp conform verdicts to this path as JSON")
 	)
 	flag.Parse()
@@ -106,7 +110,7 @@ func main() {
 	if *exp == "conform" {
 		algos := *traceAlgos
 		if !flagWasSet("trace-algos") {
-			algos = "randomized,deterministic,logstar"
+			algos = "randomized,deterministic,logstar,mis"
 		}
 		exit(h.conformCommand(algos, *traceIn, *conformAlgo, *conformOut, *traceCap))
 	}

@@ -1,9 +1,13 @@
-// Command sleepsim runs one sleeping-model MST computation and prints
-// its metrics, an optional awake-timeline trace, and the verification
-// against the sequential reference MST. With -chaos it instead runs a
-// fault-injection sweep: many runs per (algorithm, fault rate) cell,
-// each perturbed by a seeded chaos policy and classified by the
-// outcome oracle.
+// Command sleepsim runs one sleeping-model computation and prints its
+// metrics, an optional awake-timeline trace, and the verification
+// against the problem's correctness oracle. The default problem is
+// MST (-problem mst, algorithm selected with -algo); -problem selects
+// any problem-suite resident instead, e.g. -problem mis for the
+// O(log log n)-awake maximal independent set. With -chaos it instead
+// runs a fault-injection sweep: many runs per (algorithm, fault rate)
+// cell, each perturbed by a seeded chaos policy and classified by the
+// outcome oracle (the MST oracle, or the MIS oracle under -problem
+// mis).
 //
 // Observability: -trace-out records the run as a structured JSONL
 // event trace (schema in DESIGN.md §8), -metrics prints the metrics
@@ -19,6 +23,8 @@
 //	sleepsim -n 1024 -algo deterministic -pprof det1024
 //	sleepsim -chaos drop -rate 0.01 -n 256
 //	sleepsim -chaos crash -rate 0,0.05,0.1 -chaos-seeds 10 -json sweep.json
+//	sleepsim -problem mis -n 256 -metrics
+//	sleepsim -problem mis -chaos drop -rate 0,0.05 -chaos-seeds 10
 package main
 
 import (
@@ -44,7 +50,8 @@ func main() {
 		rows      = flag.Int("rows", 0, "rows for -graph grid (default sqrt(n))")
 		radius    = flag.Float64("radius", 0.2, "radius for -graph sensor")
 		seed      = flag.Int64("seed", 1, "seed for topology, weights and algorithm randomness")
-		algoName  = flag.String("algo", "randomized", "algorithm: randomized|deterministic|logstar|baseline|ghs")
+		problem   = flag.String("problem", "mst", "problem to run: mst (select the algorithm with -algo) or a problem-suite name such as mis or mst/randomized")
+		algoName  = flag.String("algo", "randomized", "algorithm for -problem mst: randomized|deterministic|logstar|baseline|ghs")
 		idSpace   = flag.Int64("idspace", 0, "reassign random IDs in [1, idspace] (0 = IDs 1..n)")
 		bitCap    = flag.Bool("congest", false, "enforce the O(log n)-bit CONGEST message cap")
 		showTrace = flag.Bool("trace", false, "print the awake-timeline trace")
@@ -71,13 +78,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sleepsim:", err)
 		os.Exit(1)
 	}
-	if *chaosFault != "" {
+	switch {
+	case *chaosFault != "" && *problem == "mis":
+		err = runMISChaos(*graphKind, *n, *m, *rows, *radius, *seed, *bitCap,
+			*chaosFault, *rateList, *chaosSeeds, *awakeBud)
+	case *chaosFault != "":
 		err = runChaos(*graphKind, *n, *m, *rows, *radius, *seed, *bitCap,
 			*chaosFault, *rateList, *chaosSeeds, *chaosAlgos, *awakeBud, *jsonOut, *workers)
-	} else {
+	case *problem == "mst":
 		err = run(runOpts{
 			graphKind: *graphKind, n: *n, m: *m, rows: *rows, radius: *radius,
 			seed: *seed, algoName: *algoName, idSpace: *idSpace, bitCap: *bitCap,
+			showTrace: *showTrace, showHist: *showHist, width: *width,
+			traceOut: *traceOut, traceCap: *traceCap, showMetrics: *showMetrics,
+		})
+	default:
+		err = runProblem(runOpts{
+			graphKind: *graphKind, n: *n, m: *m, rows: *rows, radius: *radius,
+			seed: *seed, algoName: *problem, idSpace: *idSpace, bitCap: *bitCap,
 			showTrace: *showTrace, showHist: *showHist, width: *width,
 			traceOut: *traceOut, traceCap: *traceCap, showMetrics: *showMetrics,
 		})
@@ -267,6 +285,154 @@ func run(o runOpts) error {
 		}
 		meta := rec.Meta()
 		fmt.Printf("trace          : %d events (%d dropped) -> %s\n", meta.Events, meta.Dropped, o.traceOut)
+	}
+	return nil
+}
+
+// runProblem executes one problem-suite run (-problem mis,
+// mst/randomized, ...): the problem registry supplies the algorithm,
+// the awake-budget envelope, and the correctness oracle.
+func runProblem(o runOpts) error {
+	g, err := buildGraph(o.graphKind, o.n, o.m, o.rows, o.radius, o.seed)
+	if err != nil {
+		return err
+	}
+	if o.idSpace > 0 {
+		sleepmst.WithRandomIDs(g, o.idSpace, o.seed+1)
+	}
+	p, err := sleepmst.LookupProblem(o.algoName)
+	if err != nil {
+		return err
+	}
+	opts := sleepmst.Options{
+		Seed:              o.seed,
+		RecordAwakeRounds: o.showTrace,
+		RecordPhases:      true,
+	}
+	if o.bitCap {
+		opts.BitCap = core.DefaultBitCap(g)
+	}
+	var rec *trace.Recorder
+	if o.traceOut != "" {
+		rec = trace.NewRecorder(o.traceCap)
+		opts.Trace = rec
+	}
+	// The registry is always on in the problem path so the
+	// node-averaged awake complexity can be reported.
+	reg := metrics.New()
+	opts.Metrics = reg
+	r, err := p.Run(g, opts)
+	if err != nil {
+		return err
+	}
+	res := r.Sim
+	fmt.Printf("graph          : %s n=%d m=%d maxID=%d\n", o.graphKind, g.N(), g.M(), g.MaxID())
+	fmt.Printf("problem        : %s\n", p.Name())
+	fmt.Printf("phases         : %d\n", r.Phases)
+	fmt.Printf("awake max/avg  : %d / %.2f\n", res.MaxAwake(), res.MeanAwake())
+	fmt.Printf("awake node-avg : %.2f\n", metrics.NodeAvgAwake(reg))
+	if budget, ok := p.Budget(g.N()); ok {
+		fmt.Printf("awake budget   : %d (within=%v)\n", budget, res.MaxAwake() <= budget)
+	}
+	fmt.Printf("rounds         : %d (busy %d)\n", res.Rounds, res.BusyRounds)
+	fmt.Printf("messages       : sent=%d delivered=%d lost=%d\n",
+		res.MessagesSent, res.MessagesDelivered, res.MessagesLost)
+	fmt.Printf("bits           : sent=%d, max received per node=%d\n", res.BitsSent, res.MaxBitsReceived())
+	verified := p.Verify(g, r) == nil
+	switch {
+	case r.InMIS != nil:
+		size := 0
+		for _, in := range r.InMIS {
+			if in {
+				size++
+			}
+		}
+		fmt.Printf("MIS size       : %d (verified=%v)\n", size, verified)
+	case r.Outcome != nil:
+		var weight int64
+		for _, e := range r.Outcome.MSTEdges {
+			weight += e.Weight
+		}
+		fmt.Printf("MST weight     : %d (verified=%v)\n", weight, verified)
+	}
+	if o.showHist {
+		fmt.Println()
+		fmt.Print(trace.Histogram(res.TraceView(), 50))
+	}
+	if o.showTrace {
+		fmt.Println()
+		v := res.TraceView()
+		if g.N() > 64 {
+			fmt.Printf("(showing first 64 of %d nodes)\n", g.N())
+			v = v.Clip(64)
+		}
+		fmt.Print(trace.Timeline(v, o.width))
+	}
+	if o.showMetrics {
+		fmt.Println()
+		fmt.Print(reg.String())
+	}
+	if rec != nil {
+		if err := writeTrace(rec, o.traceOut); err != nil {
+			return err
+		}
+		meta := rec.Meta()
+		fmt.Printf("trace          : %d events (%d dropped) -> %s\n", meta.Events, meta.Dropped, o.traceOut)
+	}
+	return nil
+}
+
+// runMISChaos executes the -chaos sweep for -problem mis: for every
+// rate, chaos-seeds MIS runs are perturbed by the selected fault
+// policy and classified by the MIS outcome oracle.
+func runMISChaos(graphKind string, n, m, rows int, radius float64, seed int64, bitCap bool,
+	faultName, rateList string, seeds int, awakeBudget int64) error {
+	g, err := buildGraph(graphKind, n, m, rows, radius, seed)
+	if err != nil {
+		return err
+	}
+	fault, err := chaos.ParseFault(faultName)
+	if err != nil {
+		return err
+	}
+	rates, err := parseRates(rateList)
+	if err != nil {
+		return err
+	}
+	if seeds <= 0 {
+		seeds = 5
+	}
+	fmt.Printf("graph          : %s n=%d m=%d\n", graphKind, g.N(), g.M())
+	fmt.Printf("problem        : mis fault=%s runs/cell=%d\n", fault, seeds)
+	fmt.Printf("%8s", "rate")
+	for _, c := range chaos.MISClassifications() {
+		fmt.Printf(" %15s", c)
+	}
+	fmt.Println()
+	for _, rate := range rates {
+		counts := make(map[sleepmst.MISClassification]int)
+		for i := 0; i < seeds; i++ {
+			runSeed := seed + int64(i)
+			opts := sleepmst.Options{
+				Seed:        runSeed,
+				AwakeBudget: awakeBudget,
+				Interceptor: chaos.New(fault.PolicyOptions(rate, runSeed)),
+			}
+			if bitCap {
+				opts.BitCap = core.DefaultBitCap(g)
+			}
+			r, err := sleepmst.RunMIS(g, opts)
+			var inMIS []bool
+			if r != nil {
+				inMIS = r.InMIS
+			}
+			counts[sleepmst.ClassifyMISRun(g, inMIS, err)]++
+		}
+		fmt.Printf("%8.3f", rate)
+		for _, c := range chaos.MISClassifications() {
+			fmt.Printf(" %15d", counts[c])
+		}
+		fmt.Println()
 	}
 	return nil
 }

@@ -67,6 +67,9 @@ const (
 	// CheckMSTWeight: the computed tree weight matches the Kruskal
 	// reference (appended by callers via WeightCheck).
 	CheckMSTWeight = "mst-weight"
+	// CheckMISValid: the computed node set is independent and maximal
+	// (appended by callers via MISCheck).
+	CheckMISValid = "mis-valid"
 )
 
 // VerdictSchema is the version stamp of the verdict JSON shape.
@@ -85,6 +88,11 @@ type RunInfo struct {
 	// use >1: injected faults may legitimately cost extra awake
 	// rounds.
 	BudgetSlack float64
+	// Budget, when non-nil, supplies the per-node awake envelope for
+	// node count n, overriding the built-in MST catalog. Problems
+	// outside the MST suite (e.g. MIS) provide their envelope here;
+	// returning ok=false skips the budget check.
+	Budget func(n int) (int64, bool)
 	// Relaxed loosens the checks for fault-injected traces: delivery
 	// may lag its send (delays, duplicate copies) and crashed nodes
 	// are excluded from attribution and decay accounting.
@@ -193,6 +201,17 @@ func WeightCheck(got, want int64) Check {
 	return Check{Name: CheckMSTWeight, Status: StatusPass}
 }
 
+// MISCheck builds the MIS-validity check from violation counts (see
+// graph.MISViolations): edges inside the set break independence,
+// uncovered nodes break maximality.
+func MISCheck(notIndependent, notMaximal int64) Check {
+	if notIndependent > 0 || notMaximal > 0 {
+		return Check{Name: CheckMISValid, Status: StatusFail, Violations: notIndependent + notMaximal,
+			Detail: fmt.Sprintf("%d in-set edges, %d uncovered nodes", notIndependent, notMaximal)}
+	}
+	return Check{Name: CheckMISValid, Status: StatusPass}
+}
+
 // fold is the single-pass aggregation of a trace the checks run over.
 type fold struct {
 	n int
@@ -280,7 +299,7 @@ func checkWellFormed(meta trace.Meta, events []trace.Event, n int) Check {
 			bad = fmt.Sprintf("node %d outside [0,%d)", ev.Node, n)
 		case (ev.Kind == trace.KindPhase || ev.Kind == trace.KindStep || ev.Kind == trace.KindNbrs) && ev.Phase < 1:
 			bad = fmt.Sprintf("non-positive phase %d", ev.Phase)
-		case ev.Kind == trace.KindStep && ev.Step > trace.StepMerge:
+		case ev.Kind == trace.KindStep && int(ev.Step) > len(trace.Steps):
 			bad = fmt.Sprintf("unknown step %d", ev.Step)
 		case (ev.Kind == trace.KindStep || ev.Kind == trace.KindNbrs) && ev.Aux < 0:
 			bad = fmt.Sprintf("negative aux %d", ev.Aux)
@@ -359,7 +378,13 @@ func foldEvents(n int, events []trace.Event) *fold {
 // algorithm's Table 1 envelope.
 func checkAwakeBudget(f *fold, info RunInfo, n int) Check {
 	c := Check{Name: CheckAwakeBudget, Status: StatusPass}
-	budget, ok := AwakeBudget(info.Algorithm, n)
+	var budget int64
+	var ok bool
+	if info.Budget != nil {
+		budget, ok = info.Budget(n)
+	} else {
+		budget, ok = AwakeBudget(info.Algorithm, n)
+	}
 	if !ok {
 		return skip(c, fmt.Sprintf("no awake envelope for algorithm %q", info.Algorithm))
 	}

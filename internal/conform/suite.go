@@ -32,6 +32,10 @@ type Suite struct {
 	// CheckWeight enables the mst-weight check (the zero Suite skips
 	// it: a weight of 0 is not distinguishable from "not provided").
 	CheckWeight bool
+	// Extra holds problem-specific checks appended after the trace
+	// catalog — e.g. the mis-valid check built by MISCheck. Problems
+	// outside the MST suite supply their oracle here.
+	Extra []Check
 }
 
 // Verdict runs the invariant catalog and returns the verdict.
@@ -39,6 +43,9 @@ func (s Suite) Verdict() *Verdict {
 	v := CheckTrace(s.Meta, s.Events, s.Info)
 	if s.CheckWeight {
 		v.Append(WeightCheck(s.TreeWeight, s.WantWeight))
+	}
+	for _, c := range s.Extra {
+		v.Append(c)
 	}
 	return v
 }

@@ -55,6 +55,52 @@ func TestMergeCommutativeAssociative(t *testing.T) {
 	}
 }
 
+// TestNodeAvgMergeExact is the property behind node-averaged awake
+// reporting under sweeps: the awake/node-avg/* pair is a plain counter
+// pair, so any partitioning of per-run registries folds — in any order
+// — to the exact global sums, and NodeAvgAwake over the merge is the
+// exact weighted average. This is what makes the reported average
+// worker-count independent.
+func TestNodeAvgMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 40; trial++ {
+		parts := make([]*Registry, 1+rng.Intn(6))
+		var wantSum, wantNodes int64
+		for i := range parts {
+			r := New()
+			sum, nodes := rng.Int63n(500), 1+rng.Int63n(64)
+			r.Add(NodeAvgSum, sum)
+			r.Add(NodeAvgNodes, nodes)
+			wantSum += sum
+			wantNodes += nodes
+			parts[i] = r
+		}
+		fwd := merged(parts...)
+		rev := New()
+		for i := len(parts) - 1; i >= 0; i-- {
+			rev.Merge(parts[i])
+		}
+		if fwd.String() != rev.String() {
+			t.Fatalf("trial %d: fold order changed the merge:\n%s\nvs\n%s", trial, fwd, rev)
+		}
+		if fwd.Get(NodeAvgSum) != wantSum || fwd.Get(NodeAvgNodes) != wantNodes {
+			t.Fatalf("trial %d: merged node-avg pair = (%d, %d), want (%d, %d)",
+				trial, fwd.Get(NodeAvgSum), fwd.Get(NodeAvgNodes), wantSum, wantNodes)
+		}
+		if got, want := NodeAvgAwake(fwd), float64(wantSum)/float64(wantNodes); got != want {
+			t.Fatalf("trial %d: NodeAvgAwake = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestNodeAvgAwakeEmpty pins the degenerate case: a registry with no
+// recorded runs reports 0, not NaN.
+func TestNodeAvgAwakeEmpty(t *testing.T) {
+	if got := NodeAvgAwake(New()); got != 0 {
+		t.Fatalf("NodeAvgAwake(empty) = %v, want 0", got)
+	}
+}
+
 // TestMergeIdentityAndIdempotentInputs pins the algebra's edges: the
 // empty registry is a two-sided identity, and merging must not mutate
 // its argument.

@@ -18,6 +18,15 @@
 //	merge/waves          Merging-Fragments wave executions
 //	merge/depth/max      deepest pre-merge fragment level (Max metric)
 //	msgs/type/<kind>     delivered messages per wire-message kind
+//	awake/node-avg/sum   total awake rounds summed over all nodes
+//	awake/node-avg/nodes node count, denominator of the node average
+//
+// The awake/node-avg/* pair is recorded by the simulator for every
+// run, so the node-averaged awake complexity (Chatterjee–Gmyr–
+// Pandurangan) of any problem is sum ÷ nodes — see NodeAvgAwake.
+// Both components are plain counters, so the pair stays exact under
+// Merge: a sweep's aggregate average is the run-length-weighted mean,
+// independent of worker count and fold order.
 package metrics
 
 import (
@@ -193,4 +202,29 @@ func StepName(step string) string {
 // MsgName returns the canonical msgs/type/<kind> metric name.
 func MsgName(kind string) string {
 	return "msgs/type/" + kind
+}
+
+// Node-averaged awake accounting, recorded by the simulator at the end
+// of every run that carries a registry.
+const (
+	// NodeAvgSum is the counter holding sum_v A_v: every node's awake
+	// rounds, summed over all nodes and (after Merge) over all runs.
+	NodeAvgSum = "awake/node-avg/sum"
+	// NodeAvgNodes is the counter holding the node count, the
+	// denominator of the node-averaged awake complexity; Merge adds
+	// node counts across runs, keeping the aggregate ratio exact.
+	NodeAvgNodes = "awake/node-avg/nodes"
+)
+
+// NodeAvgAwake returns the node-averaged awake complexity recorded in
+// r: awake/node-avg/sum ÷ awake/node-avg/nodes, or 0 when the run (or
+// merged sweep) recorded no nodes. On a merged registry this is the
+// node-weighted mean over all folded runs, identical for every sweep
+// worker count because both components are commutative counters.
+func NodeAvgAwake(r *Registry) float64 {
+	nodes := r.Get(NodeAvgNodes)
+	if nodes == 0 {
+		return 0
+	}
+	return float64(r.Get(NodeAvgSum)) / float64(nodes)
 }

@@ -1,0 +1,141 @@
+// Registry and adapter tests for the problem suite, from the outside:
+// qualified names, bare MST aliases, the listed-choices error, and the
+// MST adapter's oracle/budget wiring.
+package problem_test
+
+import (
+	"strings"
+	"testing"
+
+	"sleepmst"
+	"sleepmst/internal/conform"
+	"sleepmst/internal/metrics"
+	"sleepmst/internal/problem"
+)
+
+// TestNamesSortedAndComplete pins the registry surface: the qualified
+// spelling of every problem, in sorted order.
+func TestNamesSortedAndComplete(t *testing.T) {
+	want := []string{"mis", "mst/baseline", "mst/deterministic", "mst/ghs", "mst/logstar", "mst/randomized"}
+	got := problem.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLookupAliases: every bare MST spelling must resolve to the same
+// problem as its qualified name.
+func TestLookupAliases(t *testing.T) {
+	for bare, qualified := range map[string]string{
+		"randomized":    "mst/randomized",
+		"deterministic": "mst/deterministic",
+		"logstar":       "mst/logstar",
+		"baseline":      "mst/baseline",
+		"ghs":           "mst/ghs",
+	} {
+		p, err := problem.Lookup(bare)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", bare, err)
+		}
+		if p.Name() != qualified {
+			t.Errorf("Lookup(%q).Name() = %q, want %q", bare, p.Name(), qualified)
+		}
+		q, err := problem.Lookup(qualified)
+		if err != nil || q.Name() != p.Name() {
+			t.Errorf("Lookup(%q) = %v, %v; want same problem as alias", qualified, q, err)
+		}
+	}
+}
+
+// TestLookupUnknownListsChoices: the rejection error must name every
+// valid spelling, qualified and bare — it is what mstbench prints.
+func TestLookupUnknownListsChoices(t *testing.T) {
+	_, err := problem.Lookup("mst/bogus")
+	if err == nil {
+		t.Fatal("Lookup(mst/bogus): want error, got nil")
+	}
+	for _, choice := range append(problem.Names(), "randomized", "ghs") {
+		if !strings.Contains(err.Error(), choice) {
+			t.Errorf("error %q does not list choice %q", err, choice)
+		}
+	}
+}
+
+// TestMSTAdapter runs an MST problem through the generic interface and
+// checks the full contract: a verified spanning tree, a passing weight
+// check, and a budget that matches the conform catalog envelope.
+func TestMSTAdapter(t *testing.T) {
+	p, err := problem.Lookup("mst/randomized")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 32
+	g := sleepmst.RandomConnected(n, 3*n, 7)
+	r, err := p.Run(g, sleepmst.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Problem != "mst/randomized" || r.Outcome == nil || r.InMIS != nil {
+		t.Fatalf("MST result shape wrong: %+v", r)
+	}
+	if err := p.Verify(g, r); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	if c := p.ConformCheck(g, r); c.Status != conform.StatusPass {
+		t.Errorf("ConformCheck: %+v", c)
+	}
+	gotBudget, gotOK := p.Budget(n)
+	wantBudget, wantOK := conform.AwakeBudget(conform.AlgoRandomized, n)
+	if gotBudget != wantBudget || gotOK != wantOK {
+		t.Errorf("Budget(%d) = %d,%v; want catalog envelope %d,%v", n, gotBudget, gotOK, wantBudget, wantOK)
+	}
+}
+
+// TestBaselineBudgetSkipped: the comparators carry no paper envelope,
+// so their Budget must report ok=false (the conformance budget check
+// then skips rather than inventing a bound).
+func TestBaselineBudgetSkipped(t *testing.T) {
+	for _, name := range []string{"mst/baseline", "mst/ghs"} {
+		p, err := problem.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, ok := p.Budget(64); ok {
+			t.Errorf("%s: Budget = %d, ok=true; comparators have no envelope", name, b)
+		}
+	}
+}
+
+// TestNodeAvgRecordedForAllProblems: every registry entry, run with a
+// metrics registry, must record the node-averaged awake pair — the
+// accounting the problem suite promises uniformly.
+func TestNodeAvgRecordedForAllProblems(t *testing.T) {
+	n := 24
+	g := sleepmst.RandomConnected(n, 3*n, 9)
+	for _, name := range problem.Names() {
+		p, err := problem.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := metrics.New()
+		r, err := p.Run(g, sleepmst.Options{Seed: 1, Metrics: reg})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if nodes := reg.Get(metrics.NodeAvgNodes); nodes != int64(n) {
+			t.Errorf("%s: %s = %d, want %d", name, metrics.NodeAvgNodes, nodes, n)
+		}
+		if sum := reg.Get(metrics.NodeAvgSum); sum <= 0 {
+			t.Errorf("%s: %s = %d, want positive", name, metrics.NodeAvgSum, sum)
+		}
+		avg := metrics.NodeAvgAwake(reg)
+		if avg <= 0 || avg > float64(r.Sim.MaxAwake()) {
+			t.Errorf("%s: node-avg awake %.2f outside (0, max=%d]", name, avg, r.Sim.MaxAwake())
+		}
+	}
+}

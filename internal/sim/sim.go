@@ -597,6 +597,17 @@ func Run(cfg Config, prog Program) (*Result, error) {
 	for kind, c := range rt.kindTally {
 		cfg.Metrics.Add(metrics.MsgName(kind), c)
 	}
+	if cfg.Metrics != nil {
+		// Node-averaged awake accounting: the sum and the denominator
+		// are recorded separately so the average stays exact (and
+		// worker-count independent) under registry merging.
+		var sum int64
+		for _, a := range rt.res.AwakePerNode {
+			sum += a
+		}
+		cfg.Metrics.Add(metrics.NodeAvgSum, sum)
+		cfg.Metrics.Add(metrics.NodeAvgNodes, int64(n))
+	}
 	if rt.failed != nil {
 		return rt.res, rt.failed
 	}

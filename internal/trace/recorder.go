@@ -105,10 +105,17 @@ const (
 	StepDecide
 	// StepMerge covers the Merging-Fragments wave(s).
 	StepMerge
+	// StepMISSample covers one MIS sparsification phase: the candidacy
+	// and rank exchange plus the join/covered announcements (MIS
+	// problem only).
+	StepMISSample
+	// StepMISCleanup covers the MIS residual cleanup: the undecided-set
+	// sync plus the rank-slotted greedy decisions (MIS problem only).
+	StepMISCleanup
 )
 
 // Steps lists every real step in canonical (emission) order.
-var Steps = [...]Step{StepFindMOE, StepMarkMOE, StepValidate, StepNbrInfo, StepColoring, StepDecide, StepMerge}
+var Steps = [...]Step{StepFindMOE, StepMarkMOE, StepValidate, StepNbrInfo, StepColoring, StepDecide, StepMerge, StepMISSample, StepMISCleanup}
 
 // String returns the JSONL name of the step.
 func (s Step) String() string {
@@ -129,6 +136,10 @@ func (s Step) String() string {
 		return "decide"
 	case StepMerge:
 		return "merge"
+	case StepMISSample:
+		return "mis-sample"
+	case StepMISCleanup:
+		return "mis-cleanup"
 	default:
 		return fmt.Sprintf("Step(%d)", int(s))
 	}

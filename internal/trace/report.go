@@ -102,7 +102,7 @@ func ReadJSONL(r io.Reader) (Meta, []Event, error) {
 }
 
 // StepAwake holds awake-round totals indexed by Step.
-type StepAwake [StepMerge + 1]int64
+type StepAwake [StepMISCleanup + 1]int64
 
 // PhaseBudget is the awake-budget breakdown of one algorithm phase
 // aggregated over all nodes.

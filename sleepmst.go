@@ -35,6 +35,7 @@ import (
 	"sleepmst/internal/ldt"
 	"sleepmst/internal/lowerbound"
 	"sleepmst/internal/metrics"
+	"sleepmst/internal/problem"
 	"sleepmst/internal/sim"
 	"sleepmst/internal/trace"
 )
@@ -427,4 +428,70 @@ func ChaosRunners(algos ...Algorithm) []chaos.Runner {
 // and tallies oracle verdicts per cell.
 func ChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 	return chaos.RunSweep(cfg)
+}
+
+// Problem suite -------------------------------------------------------------
+
+// Problem is one distributed problem the simulator can run end to end:
+// the algorithm, its awake-budget envelope, and its correctness
+// oracle. Problems are addressed by qualified registry names ("mis",
+// "mst/randomized", ...); see LookupProblem.
+type Problem = problem.Problem
+
+// ProblemResult is the output of one problem run: the common runtime
+// accounting plus the problem-specific output (MST outcome or MIS
+// membership vector).
+type ProblemResult = problem.Result
+
+// LookupProblem resolves a problem by qualified name ("mis",
+// "mst/randomized", ...) or bare MST alias ("randomized", ...). An
+// unknown name is an error listing every valid choice.
+func LookupProblem(name string) (Problem, error) { return problem.Lookup(name) }
+
+// ProblemNames returns the qualified problem registry names, sorted.
+func ProblemNames() []string { return problem.Names() }
+
+// RunMIS computes a maximal independent set of g in the sleeping model
+// with O(log log n) worst-case awake complexity w.h.p.
+func RunMIS(g *Graph, opts Options) (*ProblemResult, error) { return problem.RunMIS(g, opts) }
+
+// MISAwakeBudget returns the calibrated per-node awake envelope for an
+// n-node MIS run (BudgetCMIS · (log2 log2 n + 1), rounded up).
+func MISAwakeBudget(n int) (int64, bool) { return problem.MISAwakeBudget(n) }
+
+// MISViolations counts independence and maximality violations of the
+// node set marked by inMIS; a valid MIS returns (0, 0).
+func MISViolations(g *Graph, inMIS []bool) (notIndependent, notMaximal int64) {
+	return graph.MISViolations(g, inMIS)
+}
+
+// MISCheck builds the MIS-validity conformance check from the
+// violation counts returned by MISViolations, for appending to a
+// ConformVerdict.
+func MISCheck(notIndependent, notMaximal int64) ConformCheck {
+	return conform.MISCheck(notIndependent, notMaximal)
+}
+
+// NodeAvgAwake returns the node-averaged awake complexity recorded in
+// a run's (or merged sweep's) metrics registry: the awake/node-avg/sum
+// counter divided by awake/node-avg/nodes.
+func NodeAvgAwake(r *MetricsRegistry) float64 { return metrics.NodeAvgAwake(r) }
+
+// MISClassification is the MIS outcome oracle's verdict for one
+// perturbed run.
+type MISClassification = chaos.MISClassification
+
+// MIS oracle verdicts.
+const (
+	CorrectMIS     = chaos.CorrectMIS
+	NotIndependent = chaos.NotIndependent
+	NotMaximal     = chaos.NotMaximal
+	MISDeadlock    = chaos.MISDeadlock
+	MISAwakeBlown  = chaos.MISAwakeBlown
+)
+
+// ClassifyMISRun maps an MIS run's membership vector and error to an
+// oracle verdict.
+func ClassifyMISRun(g *Graph, inMIS []bool, err error) MISClassification {
+	return chaos.ClassifyMIS(g, inMIS, err)
 }
