@@ -10,7 +10,8 @@
 //
 // With no arguments it checks the repository's audited set: the
 // facade package (.), internal/trace, internal/metrics,
-// internal/prof, and internal/conform.
+// internal/prof, internal/conform, internal/problem, and
+// internal/modelcheck.
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 
 // auditedDirs is the default package set; keep it in sync with the
 // CI doccheck step and DESIGN.md §8.
-var auditedDirs = []string{".", "internal/trace", "internal/metrics", "internal/prof", "internal/conform", "internal/problem"}
+var auditedDirs = []string{".", "internal/trace", "internal/metrics", "internal/prof", "internal/conform", "internal/problem", "internal/modelcheck"}
 
 func main() {
 	flag.Parse()

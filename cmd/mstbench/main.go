@@ -35,6 +35,20 @@
 //	               verdicts go to stdout and, with -conform-out, to a
 //	               machine-readable JSON artifact; exits non-zero on
 //	               any failed invariant.
+//	-exp modelcheck — bounded model checking: exhaustively explore
+//	               every admissible schedule of -problem on the small
+//	               -topo topology (path<n>|ring<n>|star<n>|k<n>) up to
+//	               -depth non-default choices — adversarial within-round
+//	               routing orders by default, plus the opt-in chaos
+//	               extensions of scheduler oversleep (-mc-oversleep k)
+//	               and single-message drops (-mc-faults) — and check
+//	               the invariant catalog plus the problem oracle on
+//	               every schedule. The verdict (states explored,
+//	               branches pruned, violations) goes to stdout and,
+//	               with -mc-out, to a schema-versioned JSON artifact;
+//	               -mc-cex PREFIX writes the baseline and each
+//	               counterexample trace for cmd/tracediff. Exits
+//	               non-zero on any violation.
 //
 // -pprof <prefix> writes CPU and heap profiles of whatever the
 // invocation runs.
@@ -63,7 +77,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|thm3|fig1|thm4|decay|all|bench|trace|conform")
+		exp     = flag.String("exp", "all", "experiment: table1|thm3|fig1|thm4|decay|all|bench|trace|conform|modelcheck")
 		sizes   = flag.String("sizes", "32,64,128,256,512", "comma-separated n values for sweeps")
 		seeds   = flag.Int("seeds", 3, "seeds per configuration")
 		degF    = flag.Int("deg", 3, "edge density multiplier (m = deg*n)")
@@ -82,6 +96,17 @@ func main() {
 
 		conformAlgo = flag.String("conform-algo", "", "problem that produced the -trace-in stream, e.g. mis or mst/randomized (enables its awake-budget check)")
 		conformOut  = flag.String("conform-out", "", "write -exp conform verdicts to this path as JSON")
+
+		mcTopo      = flag.String("topo", "ring4", "-exp modelcheck topology: path<n>|ring<n>|star<n>|k<n> (n <= 6 recommended)")
+		mcProblem   = flag.String("problem", "mst/randomized", "-exp modelcheck problem (qualified name or bare MST alias)")
+		mcDepth     = flag.Int("depth", 2, "-exp modelcheck deviation bound: max non-default choices per schedule")
+		mcSeed      = flag.Int64("mc-seed", 1, "-exp modelcheck run seed (exploration is exhaustive per seed)")
+		mcOversleep = flag.Int("mc-oversleep", 0, "-exp modelcheck chaos extension: also branch on oversleeping a parking node by 1..k extra rounds (0 = clean model)")
+		mcFaults    = flag.Bool("mc-faults", false, "-exp modelcheck: also branch on single-message drops")
+		mcSlack     = flag.Float64("mc-slack", 0, "-exp modelcheck awake-budget slack on perturbed schedules (0 = default 2.0)")
+		mcNoMemo    = flag.Bool("mc-no-memo", false, "-exp modelcheck: disable state-hash pruning (visit every schedule)")
+		mcOut       = flag.String("mc-out", "", "write the -exp modelcheck verdict to this path as JSON")
+		mcCex       = flag.String("mc-cex", "", "write -exp modelcheck baseline + counterexample traces as <prefix>.baseline.jsonl / <prefix>.cexN.jsonl")
 	)
 	flag.Parse()
 
@@ -107,6 +132,20 @@ func main() {
 		os.Exit(code)
 	}
 
+	if *exp == "modelcheck" {
+		exit(h.modelcheckCommand(mcFlags{
+			topo:      *mcTopo,
+			problem:   *mcProblem,
+			depth:     *mcDepth,
+			seed:      *mcSeed,
+			oversleep: *mcOversleep,
+			faults:    *mcFaults,
+			slack:     *mcSlack,
+			noMemo:    *mcNoMemo,
+			out:       *mcOut,
+			cex:       *mcCex,
+		}))
+	}
 	if *exp == "conform" {
 		algos := *traceAlgos
 		if !flagWasSet("trace-algos") {

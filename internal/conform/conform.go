@@ -216,12 +216,13 @@ func MISCheck(notIndependent, notMaximal int64) Check {
 type fold struct {
 	n int
 
-	awakeCharged []int64            // KindAwake events per node
-	stepSum      []int64            // KindStep Aux per node
-	awakeAt      map[awakeKey]bool  // (round, node) awake set
+	awakeCharged []int64           // KindAwake events per node
+	stepSum      []int64           // KindStep Aux per node
+	awakeAt      map[awakeKey]bool // (round, node) awake set
 	sendRounds   map[pairKey][]int64
 	sendCount    map[sendKey]int64
 	delivers     []trace.Event
+	deliverIdx   []int // canonical event index of each deliver, for localisation
 	crashed      []bool
 	anyCrash     bool
 
@@ -336,7 +337,7 @@ func foldEvents(n int, events []trace.Event) *fold {
 		phaseFrag:    map[int32]map[int32]int64{},
 		nodeFrag:     make([][]trace.Event, n),
 	}
-	for _, ev := range events {
+	for i, ev := range events {
 		switch ev.Kind {
 		case trace.KindAwake:
 			f.awakeCharged[ev.Node]++
@@ -349,6 +350,7 @@ func foldEvents(n int, events []trace.Event) *fold {
 			f.sendCount[sendKey{ev.Round, ev.Node, ev.Peer}]++
 		case trace.KindDeliver:
 			f.delivers = append(f.delivers, ev)
+			f.deliverIdx = append(f.deliverIdx, i)
 		case trace.KindCrash:
 			f.crashed[ev.Node] = true
 			f.anyCrash = true
@@ -628,13 +630,16 @@ func checkCausality(f *fold, meta trace.Meta, info RunInfo) Check {
 		return skip(c, fmt.Sprintf("%d events dropped by ring overflow", meta.Dropped))
 	}
 	if info.Relaxed {
-		for _, ev := range f.delivers {
+		for di, ev := range f.delivers {
 			rounds := f.sendRounds[pairKey{ev.Peer, ev.Node}]
 			i := sort.Search(len(rounds), func(i int) bool { return rounds[i] > ev.Round })
 			if i == 0 {
 				c.Violations++
 				if c.Detail == "" {
-					c.Detail = fmt.Sprintf("deliver %d->%d at round %d precedes every send", ev.Peer, ev.Node, ev.Round)
+					// The event index localises the violation in the
+					// canonical stream (tracediff's coordinate system).
+					c.Detail = fmt.Sprintf("event %d: deliver %d->%d at round %d precedes every send",
+						f.deliverIdx[di], ev.Peer, ev.Node, ev.Round)
 				}
 			}
 		}

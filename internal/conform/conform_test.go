@@ -3,6 +3,7 @@ package conform
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -249,6 +250,24 @@ func TestCausalityStrictAndRelaxed(t *testing.T) {
 		if got := status(v, CheckCausality); got != StatusFail {
 			t.Errorf("relaxed=%v: orphan deliver = %s, want fail", in.Relaxed, got)
 		}
+	}
+	// The relaxed detail localises the violation by event index, so
+	// counterexamples line up with tracediff's coordinates: the index
+	// must point at the deliver event the message describes.
+	v := CheckTrace(meta, events, rin)
+	c := v.Lookup(CheckCausality)
+	if c == nil || !strings.HasPrefix(c.Detail, "event ") {
+		t.Fatalf("relaxed causality detail = %q, want an event-index prefix", c.Detail)
+	}
+	var idx int
+	var from, to int32
+	var round int64
+	if _, err := fmt.Sscanf(c.Detail, "event %d: deliver %d->%d at round %d", &idx, &from, &to, &round); err != nil {
+		t.Fatalf("cannot parse detail %q: %v", c.Detail, err)
+	}
+	ev := events[idx]
+	if ev.Kind != trace.KindDeliver || ev.Peer != from || ev.Node != to || ev.Round != round {
+		t.Errorf("detail %q points at event %+v, not the offending deliver", c.Detail, ev)
 	}
 }
 

@@ -56,6 +56,10 @@ type Options struct {
 	// injection hook surface (see sim.Interceptor and internal/chaos).
 	// Nil keeps the paper's clean sleeping model.
 	Interceptor sim.Interceptor
+	// Chooser, if non-nil, is handed to the simulator's model-checking
+	// branch-point hook (see sim.Chooser and internal/modelcheck). Nil
+	// keeps today's fixed schedule bit-identically.
+	Chooser sim.Chooser
 	// Trace, if non-nil, records structured events — scheduler events
 	// plus the algorithms' phase/step/merge markers — into the given
 	// recorder (see internal/trace). Nil keeps recording off.
@@ -76,6 +80,7 @@ func (o Options) simConfig(g *graph.Graph) sim.Config {
 		RecordAwakeRounds: o.RecordAwakeRounds,
 		AwakeBudget:       o.AwakeBudget,
 		Interceptor:       o.Interceptor,
+		Chooser:           o.Chooser,
 		Trace:             o.Trace,
 		Metrics:           o.Metrics,
 	}

@@ -169,6 +169,7 @@ func RunMIS(g *graph.Graph, opts core.Options) (*Result, error) {
 		AwakeBudget:       opts.AwakeBudget,
 		RecordAwakeRounds: opts.RecordAwakeRounds,
 		Interceptor:       opts.Interceptor,
+		Chooser:           opts.Chooser,
 		Trace:             opts.Trace,
 		Metrics:           opts.Metrics,
 	}

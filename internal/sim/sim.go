@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"sleepmst/internal/graph"
 	"sleepmst/internal/metrics"
@@ -148,6 +149,11 @@ type Config struct {
 	// wake scheduling (fault injection; see Interceptor). Nil keeps
 	// the clean model.
 	Interceptor Interceptor
+	// Chooser, if non-nil, selects among admissible nondeterminism
+	// branches at wake scheduling, message-routing order, and
+	// per-message fault injection (model checking; see Chooser). Nil —
+	// the default — keeps today's fixed choices bit-identically.
+	Chooser Chooser
 	// Trace, if non-nil, records structured events (awake, sleep gaps,
 	// sends, deliveries, losses, crashes, plus whatever the node
 	// program emits via EmitPhase/EmitStep/EmitMerge) into the given
@@ -195,8 +201,8 @@ type Result struct {
 	// Chaos metering. All fields below stay zero/nil unless
 	// Config.Interceptor was set.
 
-	// MessagesDropped counts messages lost to interceptor drops (they
-	// are also counted in MessagesLost).
+	// MessagesDropped counts messages lost to interceptor or chooser
+	// drops (they are also counted in MessagesLost).
 	MessagesDropped int64
 	// MessagesDelayed counts primary copies postponed by the
 	// interceptor; MessagesDuplicated counts injected extra copies.
@@ -204,7 +210,8 @@ type Result struct {
 	// MessagesCorrupted counts payloads the interceptor marked
 	// Mutated.
 	MessagesCorrupted int64
-	// WakesPerturbed counts wake rounds the interceptor moved.
+	// WakesPerturbed counts wake rounds the interceptor or chooser
+	// moved.
 	WakesPerturbed int64
 	// CrashRound[i] is the round from which node i was crash-stopped
 	// (0 = never). Nil when no interceptor was configured.
@@ -469,6 +476,10 @@ type runtime struct {
 	// awakeStamp[v] == r iff node v participates in round r; replaces
 	// a per-round map (rounds start at 1, so 0 means "never stamped").
 	awakeStamp []int64
+
+	// sendOrder/sendPool are chooseSendOrder scratch, reused across
+	// rounds; nil unless a Chooser is configured.
+	sendOrder, sendPool []int
 }
 
 // delayedMsg is one interceptor-postponed message copy: it reaches
@@ -698,9 +709,11 @@ func (rt *runtime) loop() {
 	parked := make([]bool, len(rt.nodes))
 	nParked := 0
 	var wakes wakeHeap
-	var p []int // participants scratch, reused across rounds
+	var p []int         // participants scratch, reused across rounds
+	var batch []int     // parked-node scratch, reused across collections
 	awaitEvents := live // all goroutines start running
 	for {
+		batch = batch[:0]
 		for i := 0; i < awaitEvents; i++ {
 			ev := <-rt.park
 			if ev.exited {
@@ -710,26 +723,47 @@ func (rt *runtime) loop() {
 				}
 				continue
 			}
-			nd := rt.nodes[ev.idx]
-			if itc := rt.cfg.Interceptor; itc != nil {
-				if w := itc.InterceptWake(ev.idx, nd.wake); w > nd.wake {
+			batch = append(batch, ev.idx)
+		}
+		// Park events arrive in goroutine-completion order — scheduler
+		// noise. A Chooser replays recorded choice sequences by call
+		// position, so it must see the batch in a deterministic order:
+		// ascending node index. Without a chooser the arrival order
+		// stands — the hooks below are coordinate-keyed (Interceptor
+		// contract) or write per-node streams (recorder), so it is
+		// unobservable — and the hot path pays nothing.
+		if rt.cfg.Chooser != nil {
+			sort.Ints(batch)
+		}
+		crashed := 0
+		for _, idx := range batch {
+			nd := rt.nodes[idx]
+			if ch := rt.cfg.Chooser; ch != nil {
+				if w := ch.ChooseWake(idx, nd.wake); w > nd.wake {
 					nd.wake = w
 					nd.perturbed = true
 					rt.res.WakesPerturbed++
 				}
-				if cr := itc.CrashRound(ev.idx); cr > 0 && nd.wake >= cr {
+			}
+			if itc := rt.cfg.Interceptor; itc != nil {
+				if w := itc.InterceptWake(idx, nd.wake); w > nd.wake {
+					nd.wake = w
+					nd.perturbed = true
+					rt.res.WakesPerturbed++
+				}
+				if cr := itc.CrashRound(idx); cr > 0 && nd.wake >= cr {
 					// Crash-stop: the node never reaches its next wake
 					// round. Unwind its goroutine; the exit event lands
-					// on rt.park, so extend this collection loop by one.
-					rt.res.CrashRound[ev.idx] = cr
+					// on rt.park and is collected after this batch.
+					rt.res.CrashRound[idx] = cr
 					if rt.rec != nil {
 						// The node is parked, so the scheduler may write
 						// its stream (it never will again after abort).
-						rt.rec.Crash(ev.idx, cr)
+						rt.rec.Crash(idx, cr)
 					}
 					nd.aborted = true
 					nd.resume <- struct{}{}
-					awaitEvents++
+					crashed++
 					continue
 				}
 			}
@@ -737,13 +771,22 @@ func (rt *runtime) loop() {
 				// A real sleep gap: the node skips >= 1 round between
 				// its last awake round (0 = never) and its next wake.
 				// Recorded into the node's stream while it is parked.
-				if last := rt.res.HaltRound[ev.idx]; nd.wake > last+1 {
-					rt.rec.Sleep(ev.idx, last, nd.wake)
+				if last := rt.res.HaltRound[idx]; nd.wake > last+1 {
+					rt.rec.Sleep(idx, last, nd.wake)
 				}
 			}
-			parked[ev.idx] = true
+			parked[idx] = true
 			nParked++
-			wakes.push(wakeEntry{round: nd.wake, idx: ev.idx})
+			wakes.push(wakeEntry{round: nd.wake, idx: idx})
+		}
+		// Collect the exit events of crash-stopped nodes now, so the
+		// park channel is empty again at the top of the next iteration.
+		for i := 0; i < crashed; i++ {
+			ev := <-rt.park
+			live--
+			if ev.err != nil && rt.failed == nil {
+				rt.failed = fmt.Errorf("node %d: %w", ev.idx, ev.err)
+			}
 		}
 		if rt.failed != nil {
 			rt.drain(parked, nParked)
@@ -821,15 +864,23 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 		rt.nodes[idx].in = nil
 	}
 	itc := rt.cfg.Interceptor
+	ch := rt.cfg.Chooser
 	if itc != nil {
 		if err := rt.deliverDelayed(round); err != nil {
 			return err
 		}
 	}
-	for _, idx := range participants {
+	// The chooser selects the routing order of the round's staged
+	// outboxes (the adversarial within-round delivery order); without
+	// one, ascending node index as before.
+	senders := participants
+	if ch != nil {
+		senders = rt.chooseSendOrder(round, participants)
+	}
+	for _, idx := range senders {
 		nd := rt.nodes[idx]
 		ports := rt.cfg.Graph.Ports(idx)
-		if itc == nil && rt.rec == nil {
+		if itc == nil && rt.rec == nil && ch == nil {
 			for p, msg := range nd.out {
 				bits := MessageBits(msg)
 				if rt.cfg.BitCap > 0 && bits > rt.cfg.BitCap {
@@ -849,9 +900,10 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 			}
 			continue
 		}
-		// Ordered path, taken with an interceptor or a trace recorder:
-		// iterate ports in index order so a stateful interceptor — and
-		// the recorder's event stream — sees a deterministic event
+		// Ordered path, taken with an interceptor, trace recorder, or
+		// chooser: iterate ports in index order so a stateful
+		// interceptor — and the recorder's event stream, and the
+		// chooser's fault choice points — sees a deterministic event
 		// sequence (the clean path above may range over the outbox map
 		// in any order — harmless there because metering is additive).
 		for p := range ports {
@@ -870,11 +922,22 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 			if rt.rec != nil {
 				rt.rec.Send(round, idx, p, ports[p].To)
 			}
+			if ch != nil && ch.ChooseFault(round, idx, p, ports[p].To) {
+				rt.res.MessagesDropped++
+				rt.res.MessagesLost++
+				if rt.rec != nil {
+					rt.rec.Lost(round, idx, p, ports[p].To)
+				}
+				continue
+			}
 			if itc == nil {
-				// Recording without chaos: clean delivery semantics.
+				// Recording or choosing without chaos: clean delivery
+				// semantics.
 				if rt.awakeStamp[ports[p].To] != round {
 					rt.res.MessagesLost++
-					rt.rec.Lost(round, idx, p, ports[p].To)
+					if rt.rec != nil {
+						rt.rec.Lost(round, idx, p, ports[p].To)
+					}
 					continue
 				}
 				if err := rt.deposit(round, idx, p, ports[p].To, ports[p].RevPort, msg); err != nil {

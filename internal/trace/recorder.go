@@ -447,10 +447,19 @@ func (r *Recorder) Meta() Meta {
 // each line is fixed, so a fixed-seed run produces a byte-identical
 // stream. See DESIGN.md §8 for the field-by-field schema.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return WriteEventsJSONL(w, r.Meta(), r.Events())
+}
+
+// WriteEventsJSONL writes a (meta, events) pair in the canonical JSONL
+// trace format — the same stream WriteJSONL produces from a live
+// recorder. It lets callers that hold onto a finished run's events
+// (e.g. the model checker emitting a counterexample) serialize them
+// without keeping the recorder alive; events must already be in
+// canonical order.
+func WriteEventsJSONL(w io.Writer, meta Meta, events []Event) error {
 	bw := bufio.NewWriter(w)
-	meta := r.Meta()
 	fmt.Fprintf(bw, `{"k":"begin","n":%d}`+"\n", meta.N)
-	for _, ev := range r.Events() {
+	for _, ev := range events {
 		writeEvent(bw, ev)
 	}
 	fmt.Fprintf(bw, `{"k":"end","rounds":%d,"events":%d,"dropped":%d}`+"\n", meta.Rounds, meta.Events, meta.Dropped)

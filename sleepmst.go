@@ -35,6 +35,7 @@ import (
 	"sleepmst/internal/ldt"
 	"sleepmst/internal/lowerbound"
 	"sleepmst/internal/metrics"
+	"sleepmst/internal/modelcheck"
 	"sleepmst/internal/problem"
 	"sleepmst/internal/sim"
 	"sleepmst/internal/trace"
@@ -494,4 +495,37 @@ const (
 // oracle verdict.
 func ClassifyMISRun(g *Graph, inMIS []bool, err error) MISClassification {
 	return chaos.ClassifyMIS(g, inMIS, err)
+}
+
+// Model checking ------------------------------------------------------------
+
+// Chooser is the simulator's deterministic branch-point hook: wake
+// scheduling, within-round message-routing order, and per-message
+// fault injection. A nil Options.Chooser (the default) is
+// bit-identical to the production scheduler; the bounded model
+// checker drives a Chooser to explore every admissible branch.
+type Chooser = sim.Chooser
+
+// ModelCheckConfig parameterizes a bounded exhaustive exploration of
+// one problem on one small topology; see ModelCheck.
+type ModelCheckConfig = modelcheck.Config
+
+// ModelCheckVerdict is the exploration's schema-versioned result:
+// coverage counters (schedules, runs, distinct states, memo hits,
+// pruned branches) plus deviation-minimal counterexamples.
+type ModelCheckVerdict = modelcheck.Verdict
+
+// ModelCheckViolation is one schedule on which an invariant or the
+// problem's correctness oracle failed, with its replayable choice
+// prefix and counterexample trace.
+type ModelCheckViolation = modelcheck.Violation
+
+// ModelCheck exhaustively explores every admissible schedule of the
+// problem on the given small topology up to the configured deviation
+// bound, checking the conformance invariant catalog plus the
+// problem's oracle on every schedule (the same engine as `mstbench
+// -exp modelcheck`). Violations land in the verdict; the returned
+// error reports infrastructure failures only.
+func ModelCheck(cfg ModelCheckConfig) (*ModelCheckVerdict, error) {
+	return modelcheck.Explore(cfg)
 }
