@@ -44,8 +44,11 @@ type BenchCell struct {
 
 // BenchResult is the BENCH_<label>.json schema.
 type BenchResult struct {
-	Label   string      `json:"label"`
-	Go      string      `json:"go"`
+	Label string `json:"label"`
+	Go    string `json:"go"`
+	// Engine names the simulator scheduler the suite ran on ("" in
+	// artifacts predating the engine option = goroutine).
+	Engine  string      `json:"engine,omitempty"`
 	Workers int         `json:"workers"`
 	Seeds   int         `json:"seeds"`
 	Cells   []BenchCell `json:"cells"`
@@ -77,13 +80,14 @@ func (h *harness) runBench(label string) (*BenchResult, error) {
 		rounds float64
 		wallNs float64
 	}
-	grid := sweep.NewGrid(len(benchAlgos), len(h.ns), h.seeds)
+	algos := h.benchSuite()
+	grid := sweep.NewGrid(len(algos), len(h.ns), h.seeds)
 	timings, err := sweep.Run(sweep.Config{Workers: h.workers}, grid.Size(), func(idx int) (timing, error) {
 		c := grid.Coords(idx)
-		a, n, seed := benchAlgos[c[0]], h.ns[c[1]], int64(c[2])
+		a, n, seed := algos[c[0]], h.ns[c[1]], int64(c[2])
 		g := benchGraph(n)
 		start := time.Now()
-		rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: seed})
+		rep, err := sleepmst.Run(a, g, sleepmst.Options{Engine: h.engine, Seed: seed})
 		if err != nil {
 			return timing{}, fmt.Errorf("%s n=%d seed=%d: %w", a, n, seed, err)
 		}
@@ -104,10 +108,11 @@ func (h *harness) runBench(label string) (*BenchResult, error) {
 	res := &BenchResult{
 		Label:   label,
 		Go:      runtime.Version(),
+		Engine:  h.engine.String(),
 		Workers: h.workers,
 		Seeds:   h.seeds,
 	}
-	for ai, a := range benchAlgos {
+	for ai, a := range algos {
 		for ni, n := range h.ns {
 			cell := BenchCell{Algorithm: a.String(), N: n, Seeds: h.seeds}
 			for s := 0; s < h.seeds; s++ {
@@ -119,7 +124,7 @@ func (h *harness) runBench(label string) (*BenchResult, error) {
 			cell.AwakeMaxMean /= float64(h.seeds)
 			cell.RoundsMean /= float64(h.seeds)
 			cell.WallNsPerRun /= float64(h.seeds)
-			cell.AllocsPerRun, cell.BytesPerRun = allocsPerRun(a, n)
+			cell.AllocsPerRun, cell.BytesPerRun = allocsPerRun(a, n, h.engine)
 			res.Cells = append(res.Cells, cell)
 		}
 	}
@@ -128,12 +133,12 @@ func (h *harness) runBench(label string) (*BenchResult, error) {
 
 // allocsPerRun measures heap allocations of one run with the global
 // allocation counters; it must run with no concurrent jobs.
-func allocsPerRun(a sleepmst.Algorithm, n int) (allocs, bytes float64) {
+func allocsPerRun(a sleepmst.Algorithm, n int, engine sleepmst.Engine) (allocs, bytes float64) {
 	g := benchGraph(n)
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	if _, err := sleepmst.Run(a, g, sleepmst.Options{Seed: 0}); err != nil {
+	if _, err := sleepmst.Run(a, g, sleepmst.Options{Engine: engine, Seed: 0}); err != nil {
 		return 0, 0
 	}
 	runtime.ReadMemStats(&after)

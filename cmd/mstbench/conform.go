@@ -93,7 +93,7 @@ func (h *harness) conformCommand(algoList, traceIn, algoHint, outPath string, tr
 			}
 			g := sleepmst.RandomConnected(n, h.deg*n, int64(n*1000))
 			rec := sleepmst.NewTraceRecorder(traceCap)
-			r, err := p.Run(g, sleepmst.Options{Seed: 1, Trace: rec})
+			r, err := p.Run(g, sleepmst.Options{Engine: h.engine, Seed: 1, Trace: rec})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "mstbench:", err)
 				return 1

@@ -82,11 +82,13 @@ func main() {
 		seeds   = flag.Int("seeds", 3, "seeds per configuration")
 		degF    = flag.Int("deg", 3, "edge density multiplier (m = deg*n)")
 		workers = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+		engName = flag.String("engine", "event", "simulator scheduler: event (goroutine-free, default) or goroutine (legacy reference)")
 
 		label       = flag.String("label", "dev", "label for the -exp bench artifact (BENCH_<label>.json)")
 		jsonOut     = flag.String("json", "", "bench artifact path (default BENCH_<label>.json; implies -exp bench)")
 		compareOld  = flag.String("compare", "", "baseline BENCH_*.json to compare against; exit 1 on regression (implies -exp bench)")
 		compareWith = flag.String("with", "", "compare -compare against this BENCH_*.json instead of running the suite")
+		benchAlgosF = flag.String("bench-algos", "", "comma-separated algorithms for -exp bench (default randomized,baseline,ghs; trim for scale runs)")
 
 		pprofOut   = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
 		traceAlgos = flag.String("trace-algos", "randomized,deterministic", "comma-separated algorithms for -exp trace")
@@ -115,7 +117,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mstbench:", err)
 		os.Exit(1)
 	}
-	h := &harness{ns: ns, seeds: *seeds, deg: *degF, workers: *workers}
+	engine, err := sleepmst.ParseEngine(*engName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstbench:", err)
+		os.Exit(1)
+	}
+	h := &harness{ns: ns, seeds: *seeds, deg: *degF, workers: *workers, engine: engine}
+	if *benchAlgosF != "" {
+		for _, f := range strings.Split(*benchAlgosF, ",") {
+			a, err := sleepmst.ParseAlgorithm(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mstbench:", err)
+				os.Exit(1)
+			}
+			h.algos = append(h.algos, a)
+		}
+	}
 
 	stopProf, err := prof.Start(*pprofOut)
 	if err != nil {
@@ -224,7 +241,7 @@ func (h *harness) traceCommand(algoList, traceIn, traceOut string, traceCap int)
 	for _, a := range algos {
 		g := sleepmst.RandomConnected(n, h.deg*n, int64(n*1000))
 		rec := sleepmst.NewTraceRecorder(traceCap)
-		rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: 1, Trace: rec})
+		rep, err := sleepmst.Run(a, g, sleepmst.Options{Engine: h.engine, Seed: 1, Trace: rec})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mstbench:", err)
 			return 1
@@ -291,6 +308,19 @@ type harness struct {
 	seeds   int
 	deg     int
 	workers int
+	engine  sleepmst.Engine
+	// algos is the -exp bench suite (nil = the default benchAlgos);
+	// -bench-algos trims it, e.g. to just `randomized` for scale runs
+	// where ClassicGHS's O(n log n) all-awake rounds are unaffordable.
+	algos []sleepmst.Algorithm
+}
+
+// benchSuite resolves the algorithms the bench experiment measures.
+func (h *harness) benchSuite() []sleepmst.Algorithm {
+	if len(h.algos) > 0 {
+		return h.algos
+	}
+	return benchAlgos
 }
 
 // sweep runs the algorithm over the size sweep and returns per-size
@@ -310,7 +340,7 @@ func (h *harness) sweep(a sleepmst.Algorithm, maxN int) (ns []int, awake, rounds
 		c := grid.Coords(idx)
 		n, s := ns[c[0]], c[1]
 		g := sleepmst.RandomConnected(n, h.deg*n, int64(n*1000+s))
-		rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: int64(s)})
+		rep, err := sleepmst.Run(a, g, sleepmst.Options{Engine: h.engine, Seed: int64(s)})
 		if err != nil {
 			return metrics{}, fmt.Errorf("%s n=%d seed=%d: %w", a, n, s, err)
 		}
@@ -398,7 +428,7 @@ func (h *harness) decay() {
 			n = 512
 		}
 		g := sleepmst.RandomConnected(n, h.deg*n, 424242)
-		rep, err := sleepmst.Run(a, g, sleepmst.Options{Seed: 7, RecordPhases: true})
+		rep, err := sleepmst.Run(a, g, sleepmst.Options{Engine: h.engine, Seed: 7, RecordPhases: true})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mstbench:", err)
 			os.Exit(1)
@@ -440,7 +470,7 @@ func (h *harness) theorem3() {
 	tb3 := stats.NewTable("n", "awake (max)", "awake/log2(n)")
 	for _, n := range h.ns {
 		g := lowerbound.RingInstance(n, int64(n))
-		rep, err := sleepmst.Run(sleepmst.Randomized, g, sleepmst.Options{Seed: 5})
+		rep, err := sleepmst.Run(sleepmst.Randomized, g, sleepmst.Options{Engine: h.engine, Seed: 5})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mstbench:", err)
 			os.Exit(1)

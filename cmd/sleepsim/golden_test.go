@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"sleepmst"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -16,7 +18,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func TestChaosJSONGolden(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "sweep.json")
 	if err := runChaos("random", 24, 0, 0, 0, 3, false,
-		"drop", "0,0.05", 2, "randomized,baseline", 0, jsonPath, 1); err != nil {
+		"drop", "0,0.05", 2, "randomized,baseline", 0, jsonPath, 1, sleepmst.EngineEvent); err != nil {
 		t.Fatalf("runChaos: %v", err)
 	}
 	got, err := os.ReadFile(jsonPath)

@@ -50,6 +50,7 @@ func main() {
 		rows      = flag.Int("rows", 0, "rows for -graph grid (default sqrt(n))")
 		radius    = flag.Float64("radius", 0.2, "radius for -graph sensor")
 		seed      = flag.Int64("seed", 1, "seed for topology, weights and algorithm randomness")
+		engName   = flag.String("engine", "event", "simulator scheduler: event (goroutine-free, default) or goroutine (legacy reference)")
 		problem   = flag.String("problem", "mst", "problem to run: mst (select the algorithm with -algo) or a problem-suite name such as mis or mst/randomized")
 		algoName  = flag.String("algo", "randomized", "algorithm for -problem mst: randomized|deterministic|logstar|baseline|ghs")
 		idSpace   = flag.Int64("idspace", 0, "reassign random IDs in [1, idspace] (0 = IDs 1..n)")
@@ -73,6 +74,12 @@ func main() {
 	)
 	flag.Parse()
 
+	engine, err := sleepmst.ParseEngine(*engName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sleepsim:", err)
+		os.Exit(1)
+	}
+
 	stopProf, err := prof.Start(*pprofOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sleepsim:", err)
@@ -81,21 +88,21 @@ func main() {
 	switch {
 	case *chaosFault != "" && *problem == "mis":
 		err = runMISChaos(*graphKind, *n, *m, *rows, *radius, *seed, *bitCap,
-			*chaosFault, *rateList, *chaosSeeds, *awakeBud)
+			*chaosFault, *rateList, *chaosSeeds, *awakeBud, engine)
 	case *chaosFault != "":
 		err = runChaos(*graphKind, *n, *m, *rows, *radius, *seed, *bitCap,
-			*chaosFault, *rateList, *chaosSeeds, *chaosAlgos, *awakeBud, *jsonOut, *workers)
+			*chaosFault, *rateList, *chaosSeeds, *chaosAlgos, *awakeBud, *jsonOut, *workers, engine)
 	case *problem == "mst":
 		err = run(runOpts{
 			graphKind: *graphKind, n: *n, m: *m, rows: *rows, radius: *radius,
-			seed: *seed, algoName: *algoName, idSpace: *idSpace, bitCap: *bitCap,
+			seed: *seed, algoName: *algoName, idSpace: *idSpace, bitCap: *bitCap, engine: engine,
 			showTrace: *showTrace, showHist: *showHist, width: *width,
 			traceOut: *traceOut, traceCap: *traceCap, showMetrics: *showMetrics,
 		})
 	default:
 		err = runProblem(runOpts{
 			graphKind: *graphKind, n: *n, m: *m, rows: *rows, radius: *radius,
-			seed: *seed, algoName: *problem, idSpace: *idSpace, bitCap: *bitCap,
+			seed: *seed, algoName: *problem, idSpace: *idSpace, bitCap: *bitCap, engine: engine,
 			showTrace: *showTrace, showHist: *showHist, width: *width,
 			traceOut: *traceOut, traceCap: *traceCap, showMetrics: *showMetrics,
 		})
@@ -113,7 +120,8 @@ func main() {
 // cell, chaos-seeds runs are perturbed by the selected fault policy
 // and classified by the oracle.
 func runChaos(graphKind string, n, m, rows int, radius float64, seed int64, bitCap bool,
-	faultName, rateList string, seeds int, algoList string, awakeBudget int64, jsonOut string, workers int) error {
+	faultName, rateList string, seeds int, algoList string, awakeBudget int64, jsonOut string, workers int,
+	engine sleepmst.Engine) error {
 	g, err := buildGraph(graphKind, n, m, rows, radius, seed)
 	if err != nil {
 		return err
@@ -138,7 +146,7 @@ func runChaos(graphKind string, n, m, rows int, radius float64, seed int64, bitC
 		}
 		runners = append(runners, chaos.Runner{Name: a.String(), Run: a.Runner()})
 	}
-	opts := core.Options{AwakeBudget: awakeBudget}
+	opts := core.Options{Engine: engine, AwakeBudget: awakeBudget}
 	if bitCap {
 		opts.BitCap = core.DefaultBitCap(g)
 	}
@@ -202,6 +210,7 @@ func parseRates(s string) ([]float64, error) {
 // runOpts bundles the single-run CLI parameters.
 type runOpts struct {
 	graphKind           string
+	engine              sleepmst.Engine
 	n, m, rows          int
 	radius              float64
 	seed                int64
@@ -228,6 +237,7 @@ func run(o runOpts) error {
 		return err
 	}
 	opts := sleepmst.Options{
+		Engine:            o.engine,
 		Seed:              o.seed,
 		RecordAwakeRounds: o.showTrace,
 		RecordPhases:      true,
@@ -305,6 +315,7 @@ func runProblem(o runOpts) error {
 		return err
 	}
 	opts := sleepmst.Options{
+		Engine:            o.engine,
 		Seed:              o.seed,
 		RecordAwakeRounds: o.showTrace,
 		RecordPhases:      true,
@@ -386,7 +397,7 @@ func runProblem(o runOpts) error {
 // rate, chaos-seeds MIS runs are perturbed by the selected fault
 // policy and classified by the MIS outcome oracle.
 func runMISChaos(graphKind string, n, m, rows int, radius float64, seed int64, bitCap bool,
-	faultName, rateList string, seeds int, awakeBudget int64) error {
+	faultName, rateList string, seeds int, awakeBudget int64, engine sleepmst.Engine) error {
 	g, err := buildGraph(graphKind, n, m, rows, radius, seed)
 	if err != nil {
 		return err
@@ -414,6 +425,7 @@ func runMISChaos(graphKind string, n, m, rows int, radius float64, seed int64, b
 		for i := 0; i < seeds; i++ {
 			runSeed := seed + int64(i)
 			opts := sleepmst.Options{
+				Engine:      engine,
 				Seed:        runSeed,
 				AwakeBudget: awakeBudget,
 				Interceptor: chaos.New(fault.PolicyOptions(rate, runSeed)),

@@ -648,12 +648,30 @@ func checkCausality(f *fold, meta trace.Meta, info RunInfo) Check {
 		for _, ev := range f.delivers {
 			deliverCount[sendKey{ev.Round, ev.Peer, ev.Node}]++
 		}
+		// Walk the violating keys in a deterministic order: map
+		// iteration order would make the reported first violation — and
+		// therefore the verdict bytes — vary between identical runs.
+		var bad []sendKey
 		for key, got := range deliverCount {
 			if got > f.sendCount[key] {
-				c.Violations += got - f.sendCount[key]
-				if c.Detail == "" {
-					c.Detail = fmt.Sprintf("round %d: %d deliveries %d->%d but %d sends", key.round, got, key.from, key.to, f.sendCount[key])
-				}
+				bad = append(bad, key)
+			}
+		}
+		sort.Slice(bad, func(i, j int) bool {
+			a, b := bad[i], bad[j]
+			if a.round != b.round {
+				return a.round < b.round
+			}
+			if a.from != b.from {
+				return a.from < b.from
+			}
+			return a.to < b.to
+		})
+		for _, key := range bad {
+			got := deliverCount[key]
+			c.Violations += got - f.sendCount[key]
+			if c.Detail == "" {
+				c.Detail = fmt.Sprintf("round %d: %d deliveries %d->%d but %d sends", key.round, got, key.from, key.to, f.sendCount[key])
 			}
 		}
 	}

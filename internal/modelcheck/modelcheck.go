@@ -69,6 +69,7 @@ import (
 	"sleepmst/internal/conform"
 	"sleepmst/internal/graph"
 	"sleepmst/internal/problem"
+	"sleepmst/internal/sim"
 	"sleepmst/internal/sweep"
 	"sleepmst/internal/trace"
 )
@@ -102,6 +103,11 @@ type Config struct {
 	// Seed seeds the run's node-private randomness; the exploration is
 	// exhaustive over schedules for this one seed.
 	Seed int64
+	// Engine selects the simulator scheduler executing every explored
+	// schedule (see sim.Engine). Both engines enumerate Chooser decision
+	// points identically, so the explored schedule space — and every
+	// verdict — is byte-identical across engines.
+	Engine sim.Engine
 	// Depth bounds the non-default choices per schedule (0 =
 	// DefaultDepth). Level d is explored only if levels 0..d-1 found
 	// no violation.

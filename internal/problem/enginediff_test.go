@@ -1,0 +1,207 @@
+package problem_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sleepmst/internal/chaos"
+	"sleepmst/internal/conform"
+	"sleepmst/internal/core"
+	"sleepmst/internal/graph"
+	"sleepmst/internal/metrics"
+	"sleepmst/internal/problem"
+	"sleepmst/internal/sim"
+	"sleepmst/internal/trace"
+)
+
+// The differential engine harness: the event engine's correctness
+// proof. For every registered problem × size × clean/chaos cell, the
+// same (graph, seed, problem, chaos policy) tuple is replayed on both
+// engines and the full observable surface is compared — trace JSONL
+// byte-for-byte, conform verdict JSON byte-for-byte, sim.Result
+// field-for-field, and the merged metrics registry — so any semantic
+// drift between the schedulers fails loudly with the first differing
+// artifact. Run errors are compared by outcome classification, not
+// text: when several node programs fail in one batch the goroutine
+// engine reports whichever parked first (scheduler noise), so the
+// error string is the one surface that was never deterministic.
+
+// diffSizes is the size sweep of the differential suite; the largest
+// size is skipped under -short.
+var diffSizes = []int{4, 16, 64, 256}
+
+// diffChaos is the chaos policy of the chaos cells: every fault
+// process at once, coordinate-hashed (stateless), so both engines see
+// identical perturbations regardless of event arrival order.
+func diffChaos(seed int64) sim.Interceptor {
+	return chaos.New(chaos.Options{
+		Seed:          seed,
+		DropRate:      0.02,
+		DelayRate:     0.03,
+		DupRate:       0.02,
+		OversleepRate: 0.02,
+		CrashFrac:     0.1,
+	})
+}
+
+// engineRun is everything one engine produced for one cell.
+type engineRun struct {
+	trace   []byte
+	verdict []byte
+	metrics string
+	sim     *sim.Result
+	result  *problem.Result
+	err     error
+}
+
+// runCell executes one (problem, n, chaos) cell on the given engine
+// with the full observability surface enabled.
+func runCell(t *testing.T, p problem.Problem, g *graph.Graph, engine sim.Engine, withChaos bool) engineRun {
+	t.Helper()
+	rec := trace.NewRecorder(1 << 15)
+	reg := metrics.New()
+	opts := core.Options{
+		Engine:            engine,
+		Seed:              1,
+		RecordAwakeRounds: true,
+		Trace:             rec,
+		Metrics:           reg,
+	}
+	if withChaos {
+		opts.Interceptor = diffChaos(7)
+	}
+	r, err := p.Run(g, opts)
+
+	var tr bytes.Buffer
+	if werr := rec.WriteJSONL(&tr); werr != nil {
+		t.Fatalf("%s: write trace: %v", p.Name(), werr)
+	}
+	suite := conform.Suite{
+		Info:   conform.RunInfo{Algorithm: p.Name(), N: g.N(), Seed: 1, Budget: p.Budget},
+		Meta:   rec.Meta(),
+		Events: rec.Events(),
+	}
+	if r != nil {
+		suite.Extra = []conform.Check{p.ConformCheck(g, r)}
+	}
+	var vj bytes.Buffer
+	if werr := suite.Verdict().WriteJSON(&vj); werr != nil {
+		t.Fatalf("%s: write verdict: %v", p.Name(), werr)
+	}
+	out := engineRun{
+		trace:   tr.Bytes(),
+		verdict: vj.Bytes(),
+		metrics: reg.String(),
+		result:  r,
+		err:     err,
+	}
+	if r != nil {
+		out.sim = r.Sim
+	}
+	return out
+}
+
+// classify reduces a run to its outcome class, the error-insensitive
+// verdict the chaos sweeps report.
+func classify(p problem.Problem, g *graph.Graph, r *problem.Result, err error) string {
+	if p.Name() == "mis" {
+		var inMIS []bool
+		if r != nil {
+			inMIS = r.InMIS
+		}
+		return chaos.ClassifyMIS(g, inMIS, err).String()
+	}
+	var out *core.Outcome
+	if r != nil {
+		out = r.Outcome
+	}
+	return chaos.Classify(g, out, err).String()
+}
+
+// firstLineDiff locates the first differing JSONL line for a readable
+// failure message.
+func firstLineDiff(a, b []byte) string {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  goroutine: %s\n  event:     %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: goroutine %d lines, event %d lines", len(al), len(bl))
+}
+
+// TestEngineDifferential replays every registered problem on both
+// engines across the size sweep, clean and under chaos, and asserts
+// the engines are byte-identical on every deterministic surface.
+func TestEngineDifferential(t *testing.T) {
+	for _, name := range problem.Names() {
+		p, err := problem.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range diffSizes {
+			for _, withChaos := range []bool{false, true} {
+				mode := "clean"
+				if withChaos {
+					mode = "chaos"
+				}
+				t.Run(fmt.Sprintf("%s/n=%d/%s", name, n, mode), func(t *testing.T) {
+					if testing.Short() && n > 64 {
+						t.Skip("large cell skipped in -short")
+					}
+					g := graph.RandomConnected(n, 3*n, graph.GenConfig{Seed: int64(n)})
+					gor := runCell(t, p, g, sim.EngineGoroutine, withChaos)
+					evt := runCell(t, p, g, sim.EngineEvent, withChaos)
+
+					if !bytes.Equal(gor.trace, evt.trace) {
+						t.Errorf("trace JSONL diverges:\n%s", firstLineDiff(gor.trace, evt.trace))
+					}
+					if !bytes.Equal(gor.verdict, evt.verdict) {
+						t.Errorf("conform verdict diverges:\n%s", firstLineDiff(gor.verdict, evt.verdict))
+					}
+					if gor.metrics != evt.metrics {
+						t.Errorf("metrics diverge:\ngoroutine:\n%s\nevent:\n%s", gor.metrics, evt.metrics)
+					}
+					if (gor.err == nil) != (evt.err == nil) {
+						t.Errorf("error presence diverges: goroutine=%v event=%v", gor.err, evt.err)
+					}
+					if cg, ce := classify(p, g, gor.result, gor.err), classify(p, g, evt.result, evt.err); cg != ce {
+						t.Errorf("outcome class diverges: goroutine=%s event=%s", cg, ce)
+					}
+					if gor.sim != nil && evt.sim != nil && !reflect.DeepEqual(gor.sim, evt.sim) {
+						t.Errorf("sim.Result diverges:\ngoroutine: %+v\nevent:     %+v", gor.sim, evt.sim)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialMergedMetrics fans one problem's seed sweep
+// into a merged registry per engine — the aggregation path the sweep
+// pool uses — and asserts the merged registries agree, proving
+// commutativity holds across engines, not just per-run equality.
+func TestEngineDifferentialMergedMetrics(t *testing.T) {
+	p, err := problem.Lookup("mst/randomized")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.RandomConnected(32, 96, graph.GenConfig{Seed: 32})
+	merged := make(map[sim.Engine]*metrics.Registry)
+	for _, engine := range []sim.Engine{sim.EngineGoroutine, sim.EngineEvent} {
+		regs := make([]*metrics.Registry, 0, 4)
+		for seed := int64(0); seed < 4; seed++ {
+			reg := metrics.New()
+			if _, err := p.Run(g, core.Options{Engine: engine, Seed: seed, Metrics: reg}); err != nil {
+				t.Fatalf("engine %v seed %d: %v", engine, seed, err)
+			}
+			regs = append(regs, reg)
+		}
+		merged[engine] = metrics.MergeAll(regs)
+	}
+	if got, want := merged[sim.EngineEvent].String(), merged[sim.EngineGoroutine].String(); got != want {
+		t.Errorf("merged metrics diverge:\ngoroutine:\n%s\nevent:\n%s", want, got)
+	}
+}

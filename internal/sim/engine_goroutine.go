@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The legacy goroutine engine: one goroutine per node, parked on a
+// channel handshake inside every Exchange. It is kept compiled behind
+// Config.Engine for one release as the reference implementation the
+// differential harness replays against the event engine; the two are
+// bit-for-bit equivalent on fixed seeds. Prefer EngineEvent — this
+// engine pays a scheduler round-trip per awake node per round plus a
+// goroutine stack per node, which caps it around n ≈ 10^4.
+
+// runGoroutine starts one goroutine per node and drives them with the
+// lock-step channel scheduler.
+func (rt *runtime) runGoroutine(prog Program) {
+	rt.park = make(chan parkEvent, len(rt.nodes))
+	for _, nd := range rt.nodes {
+		// Buffered so the scheduler can release a whole round's
+		// participants without blocking on each handoff.
+		nd.resume = make(chan struct{}, 1)
+		go rt.runNode(nd, prog)
+	}
+	rt.loop()
+}
+
+// runNode wraps one node goroutine, translating panics and returns
+// into park events.
+func (rt *runtime) runNode(nd *Node, prog Program) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortPanic); ok {
+				rt.park <- parkEvent{idx: nd.idx, exited: true}
+				return
+			}
+			rt.park <- parkEvent{idx: nd.idx, exited: true, err: fmt.Errorf("sim: node %d panicked: %v", nd.idx, r)}
+			return
+		}
+	}()
+	err := prog(nd)
+	rt.park <- parkEvent{idx: nd.idx, exited: true, err: err}
+}
+
+// loop is the lock-step scheduler. Invariant at the top of each
+// iteration: every live node goroutine is parked inside Exchange.
+func (rt *runtime) loop() {
+	live := len(rt.nodes)
+	parked := make([]bool, len(rt.nodes))
+	nParked := 0
+	var wakes wakeHeap
+	var p []int         // participants scratch, reused across rounds
+	var batch []int     // parked-node scratch, reused across collections
+	awaitEvents := live // all goroutines start running
+	for {
+		batch = batch[:0]
+		for i := 0; i < awaitEvents; i++ {
+			ev := <-rt.park
+			if ev.exited {
+				live--
+				if ev.err != nil && rt.failed == nil {
+					rt.failed = fmt.Errorf("node %d: %w", ev.idx, ev.err)
+				}
+				continue
+			}
+			batch = append(batch, ev.idx)
+		}
+		// Park events arrive in goroutine-completion order — scheduler
+		// noise. A Chooser replays recorded choice sequences by call
+		// position, so it must see the batch in a deterministic order:
+		// ascending node index. Without a chooser the arrival order
+		// stands — the hooks below are coordinate-keyed (Interceptor
+		// contract) or write per-node streams (recorder), so it is
+		// unobservable — and the hot path pays nothing. (The event
+		// engine always parks in ascending index order, which is why
+		// the two engines stay trace-identical either way.)
+		if rt.cfg.Chooser != nil {
+			sort.Ints(batch)
+		}
+		crashed := 0
+		for _, idx := range batch {
+			nd := rt.nodes[idx]
+			if ch := rt.cfg.Chooser; ch != nil {
+				if w := ch.ChooseWake(idx, nd.wake); w > nd.wake {
+					nd.wake = w
+					nd.perturbed = true
+					rt.res.WakesPerturbed++
+				}
+			}
+			if itc := rt.cfg.Interceptor; itc != nil {
+				if w := itc.InterceptWake(idx, nd.wake); w > nd.wake {
+					nd.wake = w
+					nd.perturbed = true
+					rt.res.WakesPerturbed++
+				}
+				if cr := itc.CrashRound(idx); cr > 0 && nd.wake >= cr {
+					// Crash-stop: the node never reaches its next wake
+					// round. Unwind its goroutine; the exit event lands
+					// on rt.park and is collected after this batch.
+					rt.res.CrashRound[idx] = cr
+					if rt.rec != nil {
+						// The node is parked, so the scheduler may write
+						// its stream (it never will again after abort).
+						rt.rec.Crash(idx, cr)
+					}
+					nd.aborted = true
+					nd.resume <- struct{}{}
+					crashed++
+					continue
+				}
+			}
+			if rt.rec != nil {
+				// A real sleep gap: the node skips >= 1 round between
+				// its last awake round (0 = never) and its next wake.
+				// Recorded into the node's stream while it is parked.
+				if last := rt.res.HaltRound[idx]; nd.wake > last+1 {
+					rt.rec.Sleep(idx, last, nd.wake)
+				}
+			}
+			parked[idx] = true
+			nParked++
+			wakes.push(wakeEntry{round: nd.wake, idx: idx})
+		}
+		// Collect the exit events of crash-stopped nodes now, so the
+		// park channel is empty again at the top of the next iteration.
+		for i := 0; i < crashed; i++ {
+			ev := <-rt.park
+			live--
+			if ev.err != nil && rt.failed == nil {
+				rt.failed = fmt.Errorf("node %d: %w", ev.idx, ev.err)
+			}
+		}
+		if rt.failed != nil {
+			rt.drain(parked, nParked)
+			return
+		}
+		if live == 0 {
+			return
+		}
+		// Next busy round: minimum wake among parked nodes.
+		round := wakes[0].round
+		if round > rt.cfg.MaxRounds {
+			rt.failed = fmt.Errorf("sim: round %d exceeds cap %d: %w (%w)", round, rt.cfg.MaxRounds, ErrRoundCap, ErrAborted)
+			rt.drain(parked, nParked)
+			return
+		}
+		// Participants of this round; heap pops with equal rounds come
+		// out in increasing index order, so p is already sorted.
+		p = p[:0]
+		for len(wakes) > 0 && wakes[0].round == round {
+			p = append(p, wakes.pop().idx)
+		}
+		if err := rt.deliver(round, p); err != nil {
+			rt.failed = err
+			rt.drain(parked, nParked)
+			return
+		}
+		rt.res.BusyRounds++
+		if round > rt.res.Rounds {
+			rt.res.Rounds = round
+		}
+		for _, idx := range p {
+			nd := rt.nodes[idx]
+			nd.awake++
+			rt.res.AwakePerNode[idx]++
+			if rt.rec != nil {
+				rt.rec.Awake(round, idx)
+			}
+			if rt.cfg.AwakeBudget > 0 && nd.awake > rt.cfg.AwakeBudget && rt.failed == nil {
+				rt.failed = fmt.Errorf("sim: node %d exceeded awake budget %d in round %d: %w (%w)",
+					idx, rt.cfg.AwakeBudget, round, ErrAwakeBudget, ErrAborted)
+			}
+			rt.res.HaltRound[idx] = round
+			if rt.cfg.RecordAwakeRounds {
+				rt.res.AwakeRounds[idx] = append(rt.res.AwakeRounds[idx], round)
+			}
+			nd.wake = round + 1
+			parked[idx] = false
+			nParked--
+			// The resume channels are buffered, so the whole batch is
+			// released without a scheduler<->node context switch each.
+			nd.resume <- struct{}{}
+		}
+		awaitEvents = len(p)
+	}
+}
+
+// drain aborts all parked nodes and waits for their goroutines (and
+// only theirs) to unwind.
+func (rt *runtime) drain(parked []bool, nParked int) {
+	rt.abort(parked)
+	for i := 0; i < nParked; i++ {
+		<-rt.park
+	}
+}
+
+// abort marks all parked nodes aborted and resumes them so their
+// goroutines unwind via the abort sentinel.
+func (rt *runtime) abort(parked []bool) {
+	for idx, isParked := range parked {
+		if !isParked {
+			continue
+		}
+		nd := rt.nodes[idx]
+		nd.aborted = true
+		nd.resume <- struct{}{}
+	}
+}

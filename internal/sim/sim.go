@@ -1,15 +1,24 @@
 // Package sim implements the synchronous sleeping-model CONGEST
 // runtime of the paper (§1.1).
 //
-// A simulation runs one goroutine per node. Node programs are ordinary
-// sequential Go code written against the Node API: Exchange
-// participates in the node's next wake round (sending and receiving
-// O(log n)-bit messages on ports), SleepUntil schedules the next wake
-// round, and returning from the program terminates the node. The
-// scheduler advances directly to the minimum next-wake round, so rounds
-// in which every node sleeps cost O(1) — the deterministic algorithm's
-// O(nN log n) round counts are metered without being paid in wall
-// clock.
+// Node programs are ordinary sequential Go code written against the
+// Node API: Exchange participates in the node's next wake round
+// (sending and receiving O(log n)-bit messages on ports), SleepUntil
+// schedules the next wake round, and returning from the program
+// terminates the node. The scheduler advances directly to the minimum
+// next-wake round, so rounds in which every node sleeps cost O(1) —
+// the deterministic algorithm's O(nN log n) round counts are metered
+// without being paid in wall clock.
+//
+// Two engines execute that contract (see Engine). The default event
+// engine is a goroutine-free scheduler core: node programs run as
+// coroutine continuations on the scheduler's own thread, resumed and
+// parked without channel handshakes, with per-round work queues that
+// visit only awake nodes and pooled message buffers — the engine that
+// reaches n = 10^5–10^6 on one machine. The legacy goroutine engine
+// (one goroutine per node, channel handshakes per awake round) stays
+// compiled behind Config.Engine as the differential-testing reference;
+// both engines are bit-for-bit equivalent on fixed seeds.
 //
 // Semantics, matching the paper: rounds are numbered from 1 and all
 // nodes are initially awake; a node awake in round r sends at the start
@@ -22,7 +31,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"sleepmst/internal/graph"
 	"sleepmst/internal/metrics"
@@ -130,6 +138,11 @@ type Program func(nd *Node) error
 type Config struct {
 	// Graph is the network. Required.
 	Graph *graph.Graph
+	// Engine selects the scheduler implementation. The zero value is
+	// EngineEvent, the goroutine-free event-driven core; EngineGoroutine
+	// selects the legacy one-goroutine-per-node scheduler. Both produce
+	// byte-identical traces, verdicts, and metrics on fixed seeds.
+	Engine Engine
 	// Seed seeds the per-node private randomness.
 	Seed int64
 	// MaxRounds aborts the run if the simulated round counter exceeds
@@ -291,7 +304,7 @@ var (
 	ErrBitCap = errors.New("bit cap exceeded")
 )
 
-// abortPanic is the sentinel used to unwind node goroutines on abort.
+// abortPanic is the sentinel used to unwind node programs on abort.
 type abortPanic struct{}
 
 type parkEvent struct {
@@ -301,11 +314,12 @@ type parkEvent struct {
 }
 
 // Node is the per-node handle passed to Programs. Methods must only be
-// called from that node's goroutine.
+// called from that node's program (its goroutine under the goroutine
+// engine, its coroutine continuation under the event engine).
 type Node struct {
 	rt  *runtime
 	idx int
-	rng *rand.Rand
+	rng *rand.Rand // created lazily on first Rand call
 
 	wake      int64 // round of the next Exchange
 	awake     int64
@@ -321,6 +335,17 @@ type Node struct {
 	// is a cleared map the scheduler may refill via deposit.
 	recycle Inbox
 	spare   Inbox
+
+	// Outbox recycling: outSpare is the map handed out by the previous
+	// Outbox call, recycled on the next one (see Outbox).
+	outSpare Outbox
+
+	// Event engine: yield parks the node's coroutine inside Exchange;
+	// exitErr is the program's return value, read by the scheduler
+	// after the continuation completes. Nil yield means the goroutine
+	// engine is driving this node.
+	yield   func(struct{}) bool
+	exitErr error
 
 	resume chan struct{}
 }
@@ -356,8 +381,33 @@ func (nd *Node) Round() int64 { return nd.wake }
 // AwakeCount returns the number of awake rounds consumed so far.
 func (nd *Node) AwakeCount() int64 { return nd.awake }
 
-// Rand returns the node's private source of randomness.
-func (nd *Node) Rand() *rand.Rand { return nd.rng }
+// Rand returns the node's private source of randomness. The source is
+// created lazily on first use — deterministic algorithms never pay for
+// it, which matters at n = 10^6 (a default rand source is ~5 KB of
+// state per node) — and is seeded purely from (Config.Seed, node
+// index), so the stream is identical under both engines and unaffected
+// by when the first call happens.
+func (nd *Node) Rand() *rand.Rand {
+	if nd.rng == nil {
+		nd.rng = rand.New(rand.NewSource(nd.rt.cfg.Seed*1_000_003 + int64(nd.idx)*7_919 + 1))
+	}
+	return nd.rng
+}
+
+// Outbox returns a cleared message-staging map owned by the runtime,
+// recycling the map handed out by the node's previous Outbox call. The
+// returned map is valid until that next call — the usual pattern
+// (fill, Exchange, repeat) never allocates after the first round. A
+// program that needs to retain a staged outbox must build its own map
+// with make instead.
+func (nd *Node) Outbox() Outbox {
+	if nd.outSpare == nil {
+		nd.outSpare = make(Outbox, nd.Degree())
+		return nd.outSpare
+	}
+	clear(nd.outSpare)
+	return nd.outSpare
+}
 
 // Metrics returns the run's metrics registry. It is nil when the run
 // was configured without one, which every registry method tolerates,
@@ -443,8 +493,17 @@ func (nd *Node) Exchange(out Outbox) Inbox {
 		nd.recycle = nil
 	}
 	nd.out = out
-	nd.rt.park <- parkEvent{idx: nd.idx}
-	<-nd.resume
+	if nd.yield != nil {
+		// Event engine: suspend the coroutine until the scheduler
+		// resumes it; a false return means the scheduler tore the run
+		// down (crash-stop or abort) while the node was parked.
+		if !nd.yield(struct{}{}) {
+			panic(abortPanic{})
+		}
+	} else {
+		nd.rt.park <- parkEvent{idx: nd.idx}
+		<-nd.resume
+	}
 	if nd.aborted {
 		panic(abortPanic{})
 	}
@@ -553,6 +612,9 @@ func Run(cfg Config, prog Program) (*Result, error) {
 	if cfg.Graph == nil {
 		return nil, errors.New("sim: config requires a graph")
 	}
+	if !cfg.Engine.valid() {
+		return nil, fmt.Errorf("sim: config names unknown engine %v", cfg.Engine)
+	}
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
@@ -561,7 +623,6 @@ func Run(cfg Config, prog Program) (*Result, error) {
 		cfg:        cfg,
 		maxID:      cfg.Graph.MaxID(),
 		nodes:      make([]*Node, n),
-		park:       make(chan parkEvent, n),
 		awakeStamp: make([]int64, n),
 		res: &Result{
 			AwakePerNode:        make([]int64, n),
@@ -584,20 +645,20 @@ func Run(cfg Config, prog Program) (*Result, error) {
 	if cfg.Metrics != nil {
 		rt.kindTally = make(map[string]int64)
 	}
+	// One contiguous node arena (struct-of-arrays style bookkeeping
+	// lives in rt.res and the engines; the program-facing handles sit
+	// cache-adjacent here instead of n separate heap objects).
+	arena := make([]Node, n)
 	for i := 0; i < n; i++ {
-		nd := &Node{
-			rt:   rt,
-			idx:  i,
-			rng:  rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*7_919 + 1)),
-			wake: 1,
-			// Buffered so the scheduler can release a whole round's
-			// participants without blocking on each handoff.
-			resume: make(chan struct{}, 1),
-		}
-		rt.nodes[i] = nd
-		go rt.runNode(nd, prog)
+		arena[i] = Node{rt: rt, idx: i, wake: 1}
+		rt.nodes[i] = &arena[i]
 	}
-	rt.loop()
+	switch cfg.Engine {
+	case EngineGoroutine:
+		rt.runGoroutine(prog)
+	default:
+		rt.runEvent(prog)
+	}
 	// Messages still in flight when the run ends never reach anyone.
 	rt.res.MessagesLost += int64(len(rt.delayed))
 	if rt.rec != nil {
@@ -623,23 +684,6 @@ func Run(cfg Config, prog Program) (*Result, error) {
 		return rt.res, rt.failed
 	}
 	return rt.res, nil
-}
-
-// runNode wraps one node goroutine, translating panics and returns
-// into park events.
-func (rt *runtime) runNode(nd *Node, prog Program) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(abortPanic); ok {
-				rt.park <- parkEvent{idx: nd.idx, exited: true}
-				return
-			}
-			rt.park <- parkEvent{idx: nd.idx, exited: true, err: fmt.Errorf("sim: node %d panicked: %v", nd.idx, r)}
-			return
-		}
-	}()
-	err := prog(nd)
-	rt.park <- parkEvent{idx: nd.idx, exited: true, err: err}
 }
 
 // wakeEntry is a min-heap entry: a parked node and its wake round.
@@ -700,156 +744,6 @@ func (h *wakeHeap) pop() wakeEntry {
 		i = least
 	}
 	return top
-}
-
-// loop is the lock-step scheduler. Invariant at the top of each
-// iteration: every live node goroutine is parked inside Exchange.
-func (rt *runtime) loop() {
-	live := len(rt.nodes)
-	parked := make([]bool, len(rt.nodes))
-	nParked := 0
-	var wakes wakeHeap
-	var p []int         // participants scratch, reused across rounds
-	var batch []int     // parked-node scratch, reused across collections
-	awaitEvents := live // all goroutines start running
-	for {
-		batch = batch[:0]
-		for i := 0; i < awaitEvents; i++ {
-			ev := <-rt.park
-			if ev.exited {
-				live--
-				if ev.err != nil && rt.failed == nil {
-					rt.failed = fmt.Errorf("node %d: %w", ev.idx, ev.err)
-				}
-				continue
-			}
-			batch = append(batch, ev.idx)
-		}
-		// Park events arrive in goroutine-completion order — scheduler
-		// noise. A Chooser replays recorded choice sequences by call
-		// position, so it must see the batch in a deterministic order:
-		// ascending node index. Without a chooser the arrival order
-		// stands — the hooks below are coordinate-keyed (Interceptor
-		// contract) or write per-node streams (recorder), so it is
-		// unobservable — and the hot path pays nothing.
-		if rt.cfg.Chooser != nil {
-			sort.Ints(batch)
-		}
-		crashed := 0
-		for _, idx := range batch {
-			nd := rt.nodes[idx]
-			if ch := rt.cfg.Chooser; ch != nil {
-				if w := ch.ChooseWake(idx, nd.wake); w > nd.wake {
-					nd.wake = w
-					nd.perturbed = true
-					rt.res.WakesPerturbed++
-				}
-			}
-			if itc := rt.cfg.Interceptor; itc != nil {
-				if w := itc.InterceptWake(idx, nd.wake); w > nd.wake {
-					nd.wake = w
-					nd.perturbed = true
-					rt.res.WakesPerturbed++
-				}
-				if cr := itc.CrashRound(idx); cr > 0 && nd.wake >= cr {
-					// Crash-stop: the node never reaches its next wake
-					// round. Unwind its goroutine; the exit event lands
-					// on rt.park and is collected after this batch.
-					rt.res.CrashRound[idx] = cr
-					if rt.rec != nil {
-						// The node is parked, so the scheduler may write
-						// its stream (it never will again after abort).
-						rt.rec.Crash(idx, cr)
-					}
-					nd.aborted = true
-					nd.resume <- struct{}{}
-					crashed++
-					continue
-				}
-			}
-			if rt.rec != nil {
-				// A real sleep gap: the node skips >= 1 round between
-				// its last awake round (0 = never) and its next wake.
-				// Recorded into the node's stream while it is parked.
-				if last := rt.res.HaltRound[idx]; nd.wake > last+1 {
-					rt.rec.Sleep(idx, last, nd.wake)
-				}
-			}
-			parked[idx] = true
-			nParked++
-			wakes.push(wakeEntry{round: nd.wake, idx: idx})
-		}
-		// Collect the exit events of crash-stopped nodes now, so the
-		// park channel is empty again at the top of the next iteration.
-		for i := 0; i < crashed; i++ {
-			ev := <-rt.park
-			live--
-			if ev.err != nil && rt.failed == nil {
-				rt.failed = fmt.Errorf("node %d: %w", ev.idx, ev.err)
-			}
-		}
-		if rt.failed != nil {
-			rt.drain(parked, nParked)
-			return
-		}
-		if live == 0 {
-			return
-		}
-		// Next busy round: minimum wake among parked nodes.
-		round := wakes[0].round
-		if round > rt.cfg.MaxRounds {
-			rt.failed = fmt.Errorf("sim: round %d exceeds cap %d: %w (%w)", round, rt.cfg.MaxRounds, ErrRoundCap, ErrAborted)
-			rt.drain(parked, nParked)
-			return
-		}
-		// Participants of this round; heap pops with equal rounds come
-		// out in increasing index order, so p is already sorted.
-		p = p[:0]
-		for len(wakes) > 0 && wakes[0].round == round {
-			p = append(p, wakes.pop().idx)
-		}
-		if err := rt.deliver(round, p); err != nil {
-			rt.failed = err
-			rt.drain(parked, nParked)
-			return
-		}
-		rt.res.BusyRounds++
-		if round > rt.res.Rounds {
-			rt.res.Rounds = round
-		}
-		for _, idx := range p {
-			nd := rt.nodes[idx]
-			nd.awake++
-			rt.res.AwakePerNode[idx]++
-			if rt.rec != nil {
-				rt.rec.Awake(round, idx)
-			}
-			if rt.cfg.AwakeBudget > 0 && nd.awake > rt.cfg.AwakeBudget && rt.failed == nil {
-				rt.failed = fmt.Errorf("sim: node %d exceeded awake budget %d in round %d: %w (%w)",
-					idx, rt.cfg.AwakeBudget, round, ErrAwakeBudget, ErrAborted)
-			}
-			rt.res.HaltRound[idx] = round
-			if rt.cfg.RecordAwakeRounds {
-				rt.res.AwakeRounds[idx] = append(rt.res.AwakeRounds[idx], round)
-			}
-			nd.wake = round + 1
-			parked[idx] = false
-			nParked--
-			// The resume channels are buffered, so the whole batch is
-			// released without a scheduler<->node context switch each.
-			nd.resume <- struct{}{}
-		}
-		awaitEvents = len(p)
-	}
-}
-
-// drain aborts all parked nodes and waits for their goroutines (and
-// only theirs) to unwind.
-func (rt *runtime) drain(parked []bool, nParked int) {
-	rt.abort(parked)
-	for i := 0; i < nParked; i++ {
-		<-rt.park
-	}
 }
 
 // deliver routes the staged outboxes of the round's participants to
@@ -1046,19 +940,6 @@ func (rt *runtime) deposit(round int64, from, fromPort, to, rev int, msg interfa
 	}
 	rcv.in[rev] = msg
 	return nil
-}
-
-// abort marks all parked nodes aborted and resumes them so their
-// goroutines unwind via the abort sentinel.
-func (rt *runtime) abort(parked []bool) {
-	for idx, isParked := range parked {
-		if !isParked {
-			continue
-		}
-		nd := rt.nodes[idx]
-		nd.aborted = true
-		nd.resume <- struct{}{}
-	}
 }
 
 // MessageBits returns the size charged to a message: its Bits() if it

@@ -53,6 +53,21 @@ type GRC = graph.GRC
 // Options configures an algorithm run.
 type Options = core.Options
 
+// Engine selects the simulator's scheduler implementation (see
+// sim.Engine): the default goroutine-free event engine or the legacy
+// goroutine engine. Both are byte-identical on fixed seeds.
+type Engine = sim.Engine
+
+// The compiled engines. EngineEvent (the zero value) is the default.
+const (
+	EngineEvent     = sim.EngineEvent
+	EngineGoroutine = sim.EngineGoroutine
+)
+
+// ParseEngine converts a CLI engine name ("event", "goroutine") into
+// an Engine.
+func ParseEngine(s string) (Engine, error) { return sim.ParseEngine(s) }
+
 // Outcome is the detailed result of a run (MST edges, metrics, phases).
 type Outcome = core.Outcome
 
