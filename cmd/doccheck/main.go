@@ -10,8 +10,9 @@
 //
 // With no arguments it checks the repository's audited set: the
 // facade package (.), internal/trace, internal/metrics,
-// internal/prof, internal/conform, internal/problem, and
-// internal/modelcheck.
+// internal/prof, internal/conform, internal/problem,
+// internal/modelcheck, internal/transport, internal/energy,
+// internal/stats, and internal/lowerbound.
 package main
 
 import (
@@ -26,7 +27,19 @@ import (
 
 // auditedDirs is the default package set; keep it in sync with the
 // CI doccheck step and DESIGN.md §8.
-var auditedDirs = []string{".", "internal/trace", "internal/metrics", "internal/prof", "internal/conform", "internal/problem", "internal/modelcheck"}
+var auditedDirs = []string{
+	".",
+	"internal/conform",
+	"internal/energy",
+	"internal/lowerbound",
+	"internal/metrics",
+	"internal/modelcheck",
+	"internal/problem",
+	"internal/prof",
+	"internal/stats",
+	"internal/trace",
+	"internal/transport",
+}
 
 func main() {
 	flag.Parse()

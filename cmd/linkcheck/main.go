@@ -1,0 +1,207 @@
+// Command linkcheck audits the repository's markdown for broken
+// intra-repo links: every relative `[text](target)` must point at a
+// file or directory that exists, and a `#fragment` on a markdown
+// target must match one of that file's heading anchors
+// (GitHub-style slugs). External links (http, https, mailto) are out
+// of scope — CI must not depend on the network — and fenced code
+// blocks are skipped so shell snippets cannot produce false links.
+//
+// Usage:
+//
+//	linkcheck [root]
+//
+// With no argument it checks every .md file under the current
+// directory, excluding .git. It exits non-zero listing each broken
+// link as file:line: target.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken, checked, err := checkTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(1)
+	}
+	if len(broken) > 0 {
+		for _, b := range broken {
+			fmt.Fprintln(os.Stderr, b)
+		}
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken intra-repo link(s)\n", len(broken))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d intra-repo link(s) OK\n", checked)
+}
+
+// checkTree walks root for markdown files and validates every
+// relative link. It returns the broken-link reports and the count of
+// links checked.
+func checkTree(root string) (broken []string, checked int, err error) {
+	var files []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Hidden directories (.git, .claude, .github) hold no docs.
+			if strings.HasPrefix(d.Name(), ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		// SNIPPETS.md quotes material from external repositories, so
+		// its relative links point outside this tree by design.
+		if d.Name() == "SNIPPETS.md" {
+			return nil
+		}
+		if strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, path := range files {
+		b, c, err := checkFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		broken = append(broken, b...)
+		checked += c
+	}
+	return broken, checked, nil
+}
+
+// linkRe matches inline markdown links; the target group stops at the
+// first ')' (titles and nested parens are not used in this repo).
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkFile validates every relative link in one markdown file.
+func checkFile(path string) (broken []string, checked int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	dir := filepath.Dir(path)
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if isExternal(target) {
+				continue
+			}
+			checked++
+			if reason := checkTarget(path, dir, target); reason != "" {
+				broken = append(broken, fmt.Sprintf("%s:%d: %s (%s)", path, i+1, target, reason))
+			}
+		}
+	}
+	return broken, checked, nil
+}
+
+// isExternal reports whether the link target leaves the repository.
+func isExternal(target string) bool {
+	for _, scheme := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, scheme) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTarget validates one relative target; the empty string means
+// the link resolves.
+func checkTarget(from, dir, target string) string {
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := from // "#frag" alone points into the current file
+	if file != "" {
+		resolved = filepath.Join(dir, file)
+		if _, err := os.Stat(resolved); err != nil {
+			return "target does not exist"
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(strings.ToLower(resolved), ".md") {
+		return "" // anchors into non-markdown targets are not checked
+	}
+	anchors, err := headingAnchors(resolved)
+	if err != nil {
+		return fmt.Sprintf("cannot read target: %v", err)
+	}
+	if !anchors[strings.ToLower(frag)] {
+		return "no heading with this anchor"
+	}
+	return ""
+}
+
+// headingAnchors returns the GitHub-style anchor slugs of a markdown
+// file's headings; duplicate headings get -1, -2, ... suffixes.
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == line || (text != "" && text[0] != ' ') {
+			continue // not a heading (e.g. a #! line)
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := seen[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		seen[slug]++
+	}
+	return anchors, nil
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase,
+// drop everything but letters, digits, and hyphens (symbols like §
+// or → vanish), and turn spaces into hyphens.
+func slugify(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r == '-' || unicode.IsLetter(r) || unicode.IsNumber(r):
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a file under dir with the given relative path.
+func write(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckTree covers resolvable links, broken files, anchors, and
+// the external/fence exclusions on a synthetic tree.
+func TestCheckTree(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", strings.Join([]string{
+		"# Top",
+		"",
+		"## User Journeys",
+		"",
+		"Good: [design](docs/DESIGN.md), [section](docs/DESIGN.md#part-two),",
+		"[self](#user-journeys), [dir](docs), [ext](https://example.com/x.md).",
+		"",
+		"```sh",
+		"cat [not-a-link](missing-in-fence.md)",
+		"```",
+	}, "\n"))
+	write(t, dir, "docs/DESIGN.md", strings.Join([]string{
+		"# Design",
+		"",
+		"## Part Two",
+		"",
+		"Back: [readme](../README.md).",
+	}, "\n"))
+
+	broken, checked, err := checkTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) > 0 {
+		t.Fatalf("clean tree reported broken links: %v", broken)
+	}
+	if checked != 5 { // 4 in README + 1 in DESIGN; external and fenced excluded
+		t.Errorf("checked = %d, want 5", checked)
+	}
+
+	write(t, dir, "docs/BAD.md", strings.Join([]string{
+		"# Bad",
+		"",
+		"[gone](nope.md) and [no anchor](DESIGN.md#part-three) and [bad self](#missing).",
+	}, "\n"))
+	broken, _, err = checkTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 3 {
+		t.Fatalf("broken = %v, want 3 entries", broken)
+	}
+	for _, want := range []string{"nope.md", "part-three", "#missing"} {
+		found := false
+		for _, b := range broken {
+			if strings.Contains(b, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no broken-link report mentioning %q in %v", want, broken)
+		}
+	}
+}
+
+// TestHeadingAnchors pins the slug rules the repo's docs rely on,
+// including duplicate headings and punctuation-heavy section titles.
+func TestHeadingAnchors(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.md", strings.Join([]string{
+		"# Design & Notes",
+		"## §7. Chaos, Faults",
+		"## Dup",
+		"## Dup",
+		"```",
+		"# not a heading",
+		"```",
+		"#not-a-heading-either",
+	}, "\n"))
+	anchors, err := headingAnchors(filepath.Join(dir, "a.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"design--notes", "7-chaos-faults", "dup", "dup-1"} {
+		if !anchors[want] {
+			t.Errorf("missing anchor %q in %v", want, anchors)
+		}
+	}
+	if anchors["not-a-heading"] || anchors["not-a-heading-either"] {
+		t.Errorf("fenced or malformed heading leaked into %v", anchors)
+	}
+}
+
+// TestRepoLinksClean runs the checker over the real repository so CI
+// and `go test ./...` agree on link health.
+func TestRepoLinksClean(t *testing.T) {
+	broken, checked, err := checkTree("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) > 0 {
+		t.Errorf("repository has broken intra-repo markdown links:\n%s", strings.Join(broken, "\n"))
+	}
+	if checked == 0 {
+		t.Error("no links checked — walker is miswired")
+	}
+}

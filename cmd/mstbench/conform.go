@@ -93,7 +93,20 @@ func (h *harness) conformCommand(algoList, traceIn, algoHint, outPath string, tr
 			}
 			g := sleepmst.RandomConnected(n, h.deg*n, int64(n*1000))
 			rec := sleepmst.NewTraceRecorder(traceCap)
-			r, err := p.Run(g, sleepmst.Options{Engine: h.engine, Seed: 1, Trace: rec})
+			opts := sleepmst.Options{Engine: h.engine, Seed: 1, Trace: rec}
+			// With -transport, the checked trace is produced over the
+			// wire backend; the verdict must not change (the transport
+			// differential suite pins this).
+			tx, err := sleepmst.ParseTransport(h.txName)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mstbench:", err)
+				return 1
+			}
+			opts.Transport = tx
+			r, err := p.Run(g, opts)
+			if tx != nil {
+				tx.Close()
+			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "mstbench:", err)
 				return 1

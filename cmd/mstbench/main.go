@@ -83,6 +83,7 @@ func main() {
 		degF    = flag.Int("deg", 3, "edge density multiplier (m = deg*n)")
 		workers = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 		engName = flag.String("engine", "event", "simulator scheduler: event (goroutine-free, default) or goroutine (legacy reference)")
+		txName  = flag.String("transport", "", "wire backend for -exp conform fresh runs: none (in-memory, default), inproc, or tcp")
 
 		label       = flag.String("label", "dev", "label for the -exp bench artifact (BENCH_<label>.json)")
 		jsonOut     = flag.String("json", "", "bench artifact path (default BENCH_<label>.json; implies -exp bench)")
@@ -122,7 +123,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mstbench:", err)
 		os.Exit(1)
 	}
-	h := &harness{ns: ns, seeds: *seeds, deg: *degF, workers: *workers, engine: engine}
+	h := &harness{ns: ns, seeds: *seeds, deg: *degF, workers: *workers, engine: engine, txName: *txName}
+	if _, err := sleepmst.ParseTransport(*txName); err != nil {
+		fmt.Fprintln(os.Stderr, "mstbench:", err)
+		os.Exit(1)
+	}
 	if *benchAlgosF != "" {
 		for _, f := range strings.Split(*benchAlgosF, ",") {
 			a, err := sleepmst.ParseAlgorithm(strings.TrimSpace(f))
@@ -309,6 +314,9 @@ type harness struct {
 	deg     int
 	workers int
 	engine  sleepmst.Engine
+	// txName is the -transport wire backend for -exp conform fresh
+	// runs ("" = in-memory delivery).
+	txName string
 	// algos is the -exp bench suite (nil = the default benchAlgos);
 	// -bench-algos trims it, e.g. to just `randomized` for scale runs
 	// where ClassicGHS's O(n log n) all-awake rounds are unaffordable.

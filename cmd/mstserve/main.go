@@ -1,0 +1,293 @@
+// Command mstserve is the real-transport MST service: it takes a
+// graph description, runs a registered sleeping-model problem with
+// every delivery carried over a wire backend (real loopback TCP by
+// default), certifies the produced trace with the conformance
+// checker, and emits one JSON artifact holding the verdict, the run
+// summary, and the physical wire accounting.
+//
+// The service exists to close the loop the simulator alone cannot:
+// the same algorithms, trace recorder, and invariant catalog, but
+// with every message encoded into a binary frame and shipped through
+// sockets — so "the tree is correct and the awake budget holds" is
+// certified over a real deployment path, not only in scheduler
+// memory. The verdict section of the artifact is byte-identical to an
+// in-memory run of the same cell; only the wire section knows which
+// backend carried the frames.
+//
+// Chaos, reinterpreted: -drop and -delay inject wire-level faults
+// (transient send failures and latency) below the model. With a
+// positive -retries budget every injected drop is masked by
+// retransmission, so the artifact must still certify a correct tree;
+// with -retries 0 drops become permanent and the run fails loudly at
+// the round barrier rather than silently miscomputing.
+//
+// Usage:
+//
+//	mstserve -n 64 -m 128 -problem mst/randomized -transport tcp -out verdict.json
+//	mstserve -n 32 -drop 0.05 -delay 0.05 -retries 8   # faulty wire, clean tree
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sleepmst"
+	"sleepmst/internal/conform"
+	"sleepmst/internal/problem"
+	"sleepmst/internal/transport"
+)
+
+// artifactSchema versions the mstserve JSON artifact.
+const artifactSchema = 1
+
+// artifact is the JSON output: the conformance verdict (transport
+// independent) plus the run and wire summaries.
+type artifact struct {
+	Schema    int    `json:"schema"`
+	Problem   string `json:"problem"`
+	Graph     string `json:"graph"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	Seed      int64  `json:"seed"`
+	Transport string `json:"transport"`
+
+	// Verdict is the conformance verdict over the run's trace plus the
+	// problem's correctness oracle — byte-identical across backends.
+	Verdict *conform.Verdict `json:"verdict"`
+
+	// Run summarizes the sleeping-model accounting.
+	Run runSummary `json:"run"`
+
+	// Wire is the physical transport accounting; timing-dependent
+	// counters (retries, redials) live here and only here.
+	Wire wireSummary `json:"wire"`
+}
+
+type runSummary struct {
+	AwakeMax     int64   `json:"awake_max"`
+	AwakeAvg     float64 `json:"awake_avg"`
+	Rounds       int64   `json:"rounds"`
+	BusyRounds   int64   `json:"busy_rounds"`
+	Sent         int64   `json:"messages_sent"`
+	Delivered    int64   `json:"messages_delivered"`
+	Lost         int64   `json:"messages_lost"`
+	BitsSent     int64   `json:"bits_sent"`
+	MSTWeight    int64   `json:"mst_weight,omitempty"`
+	Phases       int     `json:"phases,omitempty"`
+	VerifyPassed bool    `json:"verify_passed"`
+}
+
+type wireSummary struct {
+	FramesSent     int64 `json:"frames_sent"`
+	FramesRecv     int64 `json:"frames_recv"`
+	WireBytes      int64 `json:"wire_bytes"`
+	Dials          int64 `json:"dials"`
+	Redials        int64 `json:"redials,omitempty"`
+	SendRetries    int64 `json:"send_retries,omitempty"`
+	InjectedDrops  int64 `json:"injected_drops,omitempty"`
+	InjectedDelays int64 `json:"injected_delays,omitempty"`
+}
+
+func main() {
+	var (
+		graphKind = flag.String("graph", "random", "topology: random|ring|path|grid|complete|sensor")
+		n         = flag.Int("n", 64, "number of nodes")
+		m         = flag.Int("m", 0, "edges for -graph random (default 2n: sparse, socket-friendly)")
+		rows      = flag.Int("rows", 0, "rows for -graph grid (default sqrt(n))")
+		radius    = flag.Float64("radius", 0.2, "radius for -graph sensor")
+		seed      = flag.Int64("seed", 1, "seed for topology, weights and algorithm randomness")
+		probName  = flag.String("problem", "mst/randomized", "problem to serve (qualified name such as mst/randomized or mis, or a bare MST alias)")
+		engName   = flag.String("engine", "event", "simulator scheduler: event or goroutine")
+		txName    = flag.String("transport", "tcp", "wire backend: tcp (real loopback sockets, default) or inproc")
+		retries   = flag.Int("retries", transport.DefaultRetries, "per-frame send retry budget (masks injected drops; 0 = drops are permanent)")
+		timeout   = flag.Duration("timeout", transport.DefaultRecvTimeout, "round-barrier receive deadline")
+		dropProb  = flag.Float64("drop", 0, "injected per-attempt wire drop probability in [0,1]")
+		delayProb = flag.Float64("delay", 0, "injected per-frame wire delay probability in [0,1]")
+		maxDelay  = flag.Duration("max-delay", 2*time.Millisecond, "injected delay upper bound")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed of the deterministic fault hash")
+		outPath   = flag.String("out", "", "write the JSON artifact to this file ('-' = stdout; default stdout)")
+		traceOut  = flag.String("trace-out", "", "also write the structured JSONL event trace to this file")
+		traceCap  = flag.Int("trace-cap", 1<<21, "trace-recorder event capacity")
+	)
+	flag.Parse()
+	if err := serve(*graphKind, *n, *m, *rows, *radius, *seed, *probName, *engName, *txName,
+		*retries, *timeout, *dropProb, *delayProb, *maxDelay, *faultSeed,
+		*outPath, *traceOut, *traceCap); err != nil {
+		fmt.Fprintln(os.Stderr, "mstserve:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs one certified cell end to end and writes the artifact.
+func serve(graphKind string, n, m, rows int, radius float64, seed int64,
+	probName, engName, txName string, retries int, timeout time.Duration,
+	dropProb, delayProb float64, maxDelay time.Duration, faultSeed uint64,
+	outPath, traceOut string, traceCap int) error {
+	engine, err := sleepmst.ParseEngine(engName)
+	if err != nil {
+		return err
+	}
+	p, err := problem.Lookup(probName)
+	if err != nil {
+		return err
+	}
+	g, err := buildGraph(graphKind, n, m, rows, radius, seed)
+	if err != nil {
+		return err
+	}
+
+	tx, err := buildTransport(txName, retries, timeout)
+	if err != nil {
+		return err
+	}
+	if dropProb > 0 || delayProb > 0 {
+		tx = transport.WithFaults(tx, transport.FaultConfig{
+			Seed:      faultSeed,
+			DropProb:  dropProb,
+			DelayProb: delayProb,
+			MaxDelay:  maxDelay,
+			Retries:   retries,
+		})
+	}
+	defer tx.Close()
+
+	rec := sleepmst.NewTraceRecorder(traceCap)
+	r, err := p.Run(g, sleepmst.Options{
+		Engine:    engine,
+		Seed:      seed,
+		Trace:     rec,
+		Transport: tx,
+	})
+	if err != nil {
+		return fmt.Errorf("run failed (wire faults beyond the retry budget surface here): %w", err)
+	}
+
+	verdict := conform.Suite{
+		Info:   conform.RunInfo{Algorithm: p.Name(), N: g.N(), Seed: seed, Budget: p.Budget},
+		Meta:   rec.Meta(),
+		Events: rec.Events(),
+		Extra:  []conform.Check{p.ConformCheck(g, r)},
+	}.Verdict()
+
+	a := artifact{
+		Schema:    artifactSchema,
+		Problem:   p.Name(),
+		Graph:     graphKind,
+		N:         g.N(),
+		M:         g.M(),
+		Seed:      seed,
+		Transport: txName,
+		Verdict:   verdict,
+		Run: runSummary{
+			AwakeMax:     r.Sim.MaxAwake(),
+			AwakeAvg:     r.Sim.MeanAwake(),
+			Rounds:       r.Sim.Rounds,
+			BusyRounds:   r.Sim.BusyRounds,
+			Sent:         r.Sim.MessagesSent,
+			Delivered:    r.Sim.MessagesDelivered,
+			Lost:         r.Sim.MessagesLost,
+			BitsSent:     r.Sim.BitsSent,
+			Phases:       r.Phases,
+			VerifyPassed: p.Verify(g, r) == nil,
+		},
+	}
+	if r.Outcome != nil {
+		a.Run.MSTWeight = sleepmst.TotalWeight(r.Outcome.MSTEdges)
+	}
+	if s, ok := sleepmst.TransportStatsOf(tx); ok {
+		a.Wire = wireSummary{
+			FramesSent:     s.FramesSent,
+			FramesRecv:     s.FramesRecv,
+			WireBytes:      s.WireBytes,
+			Dials:          s.Dials,
+			Redials:        s.Redials,
+			SendRetries:    s.SendRetries,
+			InjectedDrops:  s.InjectedDrops,
+			InjectedDelays: s.InjectedDelays,
+		}
+	}
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" || outPath == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	if !verdict.Pass || !a.Run.VerifyPassed {
+		return fmt.Errorf("conformance verdict failed for %s on %s n=%d", p.Name(), graphKind, g.N())
+	}
+	return nil
+}
+
+// buildTransport constructs the named backend with the service's
+// retry/deadline settings.
+func buildTransport(name string, retries int, timeout time.Duration) (sleepmst.Transport, error) {
+	switch name {
+	case "tcp":
+		return transport.NewTCP(transport.TCPConfig{Retries: retries, RecvTimeout: timeout}), nil
+	case "inproc":
+		t := transport.NewInproc()
+		t.RecvTimeout = timeout
+		return t, nil
+	default:
+		return nil, fmt.Errorf("unknown transport %q (want tcp or inproc)", name)
+	}
+}
+
+// buildGraph mirrors the sleepsim topology flags, with a sparser
+// random default (m = 2n) because every undirected edge costs two TCP
+// connections.
+func buildGraph(kind string, n, m, rows int, radius float64, seed int64) (*sleepmst.Graph, error) {
+	switch kind {
+	case "random":
+		if m <= 0 {
+			m = 2 * n
+		}
+		return sleepmst.RandomConnected(n, m, seed), nil
+	case "ring":
+		return sleepmst.Ring(n, seed), nil
+	case "path":
+		return sleepmst.Path(n, seed), nil
+	case "grid":
+		if rows <= 0 {
+			rows = intSqrt(n)
+		}
+		return sleepmst.Grid(rows, (n+rows-1)/rows, seed), nil
+	case "complete":
+		return sleepmst.Complete(n, seed), nil
+	case "sensor":
+		return sleepmst.SensorNetwork(n, radius, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func intSqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}

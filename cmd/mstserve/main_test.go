@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sleepmst/internal/transport"
+)
+
+// serveCell runs serve once and decodes the artifact.
+func serveCell(t *testing.T, probName, txName string, n int, drop, delay float64, retries int) (artifact, []byte) {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "verdict.json")
+	err := serve("random", n, 2*n, 0, 0.2, 1, probName, "event", txName,
+		retries, transport.DefaultRecvTimeout, drop, delay, time.Millisecond, 3,
+		out, "", 1<<20)
+	if err != nil {
+		t.Fatalf("serve(%s over %s): %v", probName, txName, err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	return a, data
+}
+
+// verdictBytes re-marshals just the transport-independent sections
+// for byte comparison across backends.
+func verdictBytes(t *testing.T, a artifact) []byte {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		V interface{} `json:"verdict"`
+		R runSummary  `json:"run"`
+	}{a.Verdict, a.Run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestServeVerdictIdenticalAcrossBackends pins the service's core
+// claim: the certified verdict and run summary do not depend on which
+// backend carried the frames.
+func TestServeVerdictIdenticalAcrossBackends(t *testing.T) {
+	for _, probName := range []string{"mst/randomized", "mis"} {
+		inproc, _ := serveCell(t, probName, "inproc", 32, 0, 0, transport.DefaultRetries)
+		tcp, _ := serveCell(t, probName, "tcp", 32, 0, 0, transport.DefaultRetries)
+		if got, want := string(verdictBytes(t, tcp)), string(verdictBytes(t, inproc)); got != want {
+			t.Errorf("%s: verdict+run section differs across backends:\ntcp:    %s\ninproc: %s", probName, got, want)
+		}
+		if !tcp.Verdict.Pass || !tcp.Run.VerifyPassed {
+			t.Errorf("%s: tcp verdict did not pass: %+v", probName, tcp.Verdict)
+		}
+		if tcp.Wire.FramesSent == 0 || tcp.Wire.WireBytes == 0 {
+			t.Errorf("%s: tcp wire section empty: %+v", probName, tcp.Wire)
+		}
+	}
+}
+
+// TestServeFaultyWireStillCertifies injects wire drops and delays
+// with a retry budget: the artifact must still certify a correct
+// tree, and the wire section must show the faults were exercised.
+func TestServeFaultyWireStillCertifies(t *testing.T) {
+	clean, _ := serveCell(t, "mst/randomized", "tcp", 32, 0, 0, 8)
+	faulty, _ := serveCell(t, "mst/randomized", "tcp", 32, 0.05, 0.05, 8)
+	if got, want := string(verdictBytes(t, faulty)), string(verdictBytes(t, clean)); got != want {
+		t.Errorf("verdict+run section changed under wire faults:\nfaulty: %s\nclean:  %s", got, want)
+	}
+	if faulty.Wire.InjectedDrops == 0 && faulty.Wire.InjectedDelays == 0 {
+		t.Errorf("fault injector idle: %+v", faulty.Wire)
+	}
+}
+
+// TestServeRejectsUnknownInputs covers the argument surface.
+func TestServeRejectsUnknownInputs(t *testing.T) {
+	base := func(prob, tx, graph string) error {
+		return serve(graph, 8, 16, 0, 0.2, 1, prob, "event", tx,
+			0, time.Second, 0, 0, time.Millisecond, 1, filepath.Join(t.TempDir(), "v.json"), "", 1<<16)
+	}
+	if err := base("nope", "tcp", "random"); err == nil {
+		t.Error("unknown problem accepted")
+	}
+	if err := base("mis", "carrier-pigeon", "random"); err == nil {
+		t.Error("unknown transport accepted")
+	}
+	if err := base("mis", "tcp", "torus"); err == nil {
+		t.Error("unknown graph kind accepted")
+	}
+}

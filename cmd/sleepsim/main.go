@@ -51,6 +51,7 @@ func main() {
 		radius    = flag.Float64("radius", 0.2, "radius for -graph sensor")
 		seed      = flag.Int64("seed", 1, "seed for topology, weights and algorithm randomness")
 		engName   = flag.String("engine", "event", "simulator scheduler: event (goroutine-free, default) or goroutine (legacy reference)")
+		txName    = flag.String("transport", "", "wire backend for deliveries: none (in-memory, default), inproc, or tcp")
 		problem   = flag.String("problem", "mst", "problem to run: mst (select the algorithm with -algo) or a problem-suite name such as mis or mst/randomized")
 		algoName  = flag.String("algo", "randomized", "algorithm for -problem mst: randomized|deterministic|logstar|baseline|ghs")
 		idSpace   = flag.Int64("idspace", 0, "reassign random IDs in [1, idspace] (0 = IDs 1..n)")
@@ -96,6 +97,7 @@ func main() {
 		err = run(runOpts{
 			graphKind: *graphKind, n: *n, m: *m, rows: *rows, radius: *radius,
 			seed: *seed, algoName: *algoName, idSpace: *idSpace, bitCap: *bitCap, engine: engine,
+			transport: *txName,
 			showTrace: *showTrace, showHist: *showHist, width: *width,
 			traceOut: *traceOut, traceCap: *traceCap, showMetrics: *showMetrics,
 		})
@@ -103,6 +105,7 @@ func main() {
 		err = runProblem(runOpts{
 			graphKind: *graphKind, n: *n, m: *m, rows: *rows, radius: *radius,
 			seed: *seed, algoName: *problem, idSpace: *idSpace, bitCap: *bitCap, engine: engine,
+			transport: *txName,
 			showTrace: *showTrace, showHist: *showHist, width: *width,
 			traceOut: *traceOut, traceCap: *traceCap, showMetrics: *showMetrics,
 		})
@@ -217,6 +220,7 @@ type runOpts struct {
 	algoName            string
 	idSpace             int64
 	bitCap              bool
+	transport           string // wire backend name ('' = in-memory)
 	showTrace, showHist bool
 	width               int
 	traceOut            string // JSONL event-trace destination ('' = off)
@@ -241,6 +245,12 @@ func run(o runOpts) error {
 		Seed:              o.seed,
 		RecordAwakeRounds: o.showTrace,
 		RecordPhases:      true,
+	}
+	if tx, err := sleepmst.ParseTransport(o.transport); err != nil {
+		return err
+	} else if tx != nil {
+		defer tx.Close()
+		opts.Transport = tx
 	}
 	if o.bitCap {
 		opts.BitCap = core.DefaultBitCap(g)
@@ -319,6 +329,12 @@ func runProblem(o runOpts) error {
 		Seed:              o.seed,
 		RecordAwakeRounds: o.showTrace,
 		RecordPhases:      true,
+	}
+	if tx, err := sleepmst.ParseTransport(o.transport); err != nil {
+		return err
+	} else if tx != nil {
+		defer tx.Close()
+		opts.Transport = tx
 	}
 	if o.bitCap {
 		opts.BitCap = core.DefaultBitCap(g)

@@ -27,6 +27,7 @@ import (
 	"sleepmst/internal/metrics"
 	"sleepmst/internal/sim"
 	"sleepmst/internal/trace"
+	"sleepmst/internal/transport"
 )
 
 // Options configures an MST run.
@@ -68,6 +69,11 @@ type Options struct {
 	// plus the algorithms' phase/step/merge markers — into the given
 	// recorder (see internal/trace). Nil keeps recording off.
 	Trace *trace.Recorder
+	// Transport, if non-nil, carries every delivery as an encoded wire
+	// frame through the given backend (see internal/transport and
+	// sim.Config.Transport); the run's results stay byte-identical to
+	// the in-memory run. Nil keeps delivery in-process.
+	Transport transport.Transport
 	// Metrics, if non-nil, receives the run's counters: awake rounds
 	// per phase and per step, MOE probes and candidates, merge waves
 	// and depth, and per-kind message tallies (see internal/metrics).
@@ -88,6 +94,7 @@ func (o Options) simConfig(g *graph.Graph) sim.Config {
 		Chooser:           o.Chooser,
 		Trace:             o.Trace,
 		Metrics:           o.Metrics,
+		Transport:         o.Transport,
 	}
 }
 

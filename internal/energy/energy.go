@@ -81,6 +81,7 @@ func (m Model) Lifetime(res *sim.Result, batteryJ float64) float64 {
 	return batteryJ * 1e6 / b.MaxUJ
 }
 
+// String renders the budget as a one-line summary.
 func (b Budget) String() string {
 	return fmt.Sprintf("max %.1fuJ, mean %.1fuJ, total %.1fuJ", b.MaxUJ, b.MeanUJ, b.TotalUJ)
 }

@@ -173,6 +173,7 @@ func RunMIS(g *graph.Graph, opts core.Options) (*Result, error) {
 		Chooser:           opts.Chooser,
 		Trace:             opts.Trace,
 		Metrics:           opts.Metrics,
+		Transport:         opts.Transport,
 	}
 	res, err := sim.Run(cfg, func(nd *sim.Node) error {
 		deg := nd.Degree()

@@ -1,0 +1,196 @@
+package problem_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"sleepmst/internal/conform"
+	"sleepmst/internal/core"
+	"sleepmst/internal/graph"
+	"sleepmst/internal/metrics"
+	"sleepmst/internal/problem"
+	"sleepmst/internal/trace"
+	"sleepmst/internal/transport"
+)
+
+// The transport differential harness: the wire layer's correctness
+// proof, in the image of the engine harness above. For every cell the
+// same (graph, seed, problem) tuple runs three ways — without a
+// transport, over the in-process backend, and over real TCP sockets —
+// and the full observable surface must agree byte-for-byte: the
+// in-memory run pins the model semantics, the Inproc run proves the
+// codec round-trips every message type faithfully, and the TCP run
+// proves the socket backend adds nothing but wire.
+
+// runCellOpts executes one cell with the full observability surface
+// enabled, after applying mut to the base options.
+func runCellOpts(t *testing.T, p problem.Problem, g *graph.Graph, mut func(*core.Options)) engineRun {
+	t.Helper()
+	rec := trace.NewRecorder(1 << 15)
+	reg := metrics.New()
+	opts := core.Options{
+		Seed:              1,
+		RecordAwakeRounds: true,
+		Trace:             rec,
+		Metrics:           reg,
+	}
+	mut(&opts)
+	r, err := p.Run(g, opts)
+
+	var tr bytes.Buffer
+	if werr := rec.WriteJSONL(&tr); werr != nil {
+		t.Fatalf("%s: write trace: %v", p.Name(), werr)
+	}
+	suite := conform.Suite{
+		Info:   conform.RunInfo{Algorithm: p.Name(), N: g.N(), Seed: 1, Budget: p.Budget},
+		Meta:   rec.Meta(),
+		Events: rec.Events(),
+	}
+	if r != nil {
+		suite.Extra = []conform.Check{p.ConformCheck(g, r)}
+	}
+	var vj bytes.Buffer
+	if werr := suite.Verdict().WriteJSON(&vj); werr != nil {
+		t.Fatalf("%s: write verdict: %v", p.Name(), werr)
+	}
+	out := engineRun{
+		trace:   tr.Bytes(),
+		verdict: vj.Bytes(),
+		metrics: reg.String(),
+		result:  r,
+		err:     err,
+	}
+	if r != nil {
+		out.sim = r.Sim
+	}
+	return out
+}
+
+// runTxCell executes one cell with the full observability surface,
+// carrying deliveries over tx (nil = the plain in-memory path).
+func runTxCell(t *testing.T, p problem.Problem, g *graph.Graph, tx transport.Transport, withChaos bool) engineRun {
+	t.Helper()
+	if tx != nil {
+		defer tx.Close()
+	}
+	return runCellOpts(t, p, g, func(opts *core.Options) {
+		opts.Transport = tx
+		if withChaos {
+			opts.Interceptor = diffChaos(7)
+		}
+	})
+}
+
+// diffTxCompare asserts two runs of one cell agree on every
+// deterministic surface.
+func diffTxCompare(t *testing.T, labelA, labelB string, a, b engineRun) {
+	t.Helper()
+	if !bytes.Equal(a.trace, b.trace) {
+		t.Errorf("%s vs %s: trace JSONL diverges:\n%s", labelA, labelB, firstLineDiff(a.trace, b.trace))
+	}
+	if !bytes.Equal(a.verdict, b.verdict) {
+		t.Errorf("%s vs %s: conform verdict diverges:\n%s", labelA, labelB, firstLineDiff(a.verdict, b.verdict))
+	}
+	if a.metrics != b.metrics {
+		t.Errorf("%s vs %s: metrics diverge:\n%s:\n%s\n%s:\n%s", labelA, labelB, labelA, a.metrics, labelB, b.metrics)
+	}
+	if (a.err == nil) != (b.err == nil) {
+		t.Errorf("%s vs %s: error presence diverges: %v vs %v", labelA, labelB, a.err, b.err)
+	}
+	if a.sim != nil && b.sim != nil && !reflect.DeepEqual(a.sim, b.sim) {
+		t.Errorf("%s vs %s: sim.Result diverges:\n%s: %+v\n%s: %+v", labelA, labelB, labelA, a.sim, labelB, b.sim)
+	}
+}
+
+// TestTransportDifferential sweeps the headline problems across sizes,
+// clean and under chaos (chaos exercises delayed-copy frames, whose
+// FIFO replay order must survive the wire).
+func TestTransportDifferential(t *testing.T) {
+	for _, name := range []string{"mst/randomized", "mis"} {
+		p, err := problem.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{4, 16, 64} {
+			for _, withChaos := range []bool{false, true} {
+				mode := "clean"
+				if withChaos {
+					mode = "chaos"
+				}
+				t.Run(fmt.Sprintf("%s/n=%d/%s", name, n, mode), func(t *testing.T) {
+					if testing.Short() && n > 16 {
+						t.Skip("large cell skipped in -short")
+					}
+					// Sparse graphs: each undirected edge costs two TCP
+					// connections, so the cell stays far inside the fd
+					// budget.
+					g := graph.RandomConnected(n, 2*n, graph.GenConfig{Seed: int64(n)})
+					plain := runTxCell(t, p, g, nil, withChaos)
+					inproc := runTxCell(t, p, g, transport.NewInproc(), withChaos)
+					tcp := runTxCell(t, p, g, transport.NewTCP(transport.TCPConfig{}), withChaos)
+					diffTxCompare(t, "plain", "inproc", plain, inproc)
+					diffTxCompare(t, "inproc", "tcp", inproc, tcp)
+				})
+			}
+		}
+	}
+}
+
+// TestTransportAllProblems runs every registered problem over both
+// backends at a small size — the codec-coverage sweep: any message
+// type a problem ships that lacks a codec, or round-trips inexactly,
+// fails its cell here.
+func TestTransportAllProblems(t *testing.T) {
+	for _, name := range problem.Names() {
+		p, err := problem.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			g := graph.RandomConnected(8, 16, graph.GenConfig{Seed: 8})
+			plain := runTxCell(t, p, g, nil, false)
+			inproc := runTxCell(t, p, g, transport.NewInproc(), false)
+			tcp := runTxCell(t, p, g, transport.NewTCP(transport.TCPConfig{}), false)
+			if plain.err != nil {
+				t.Fatalf("plain run failed: %v", plain.err)
+			}
+			diffTxCompare(t, "plain", "inproc", plain, inproc)
+			diffTxCompare(t, "inproc", "tcp", inproc, tcp)
+		})
+	}
+}
+
+// TestTransportFaultInjection runs MST over TCP with injected wire
+// drops and delays. The retry budget must mask every injected drop,
+// so the run still produces a correct MST — transport faults below
+// the model leave the sleeping-model semantics untouched.
+func TestTransportFaultInjection(t *testing.T) {
+	p, err := problem.Lookup("mst/randomized")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.RandomConnected(32, 64, graph.GenConfig{Seed: 32})
+	tx := transport.WithFaults(transport.NewTCP(transport.TCPConfig{}), transport.FaultConfig{
+		Seed:      3,
+		DropProb:  0.05,
+		DelayProb: 0.05,
+		MaxDelay:  500 * time.Microsecond,
+		Retries:   8,
+	})
+	faulty := runTxCell(t, p, g, tx, false)
+	if faulty.err != nil {
+		t.Fatalf("faulty run failed: %v", faulty.err)
+	}
+	if err := p.Verify(g, faulty.result); err != nil {
+		t.Fatalf("faulty run produced incorrect output: %v", err)
+	}
+	s := tx.TransportStats()
+	if s.InjectedDrops == 0 && s.InjectedDelays == 0 {
+		t.Fatalf("fault injector idle: stats %+v", s)
+	}
+	clean := runTxCell(t, p, g, nil, false)
+	diffTxCompare(t, "clean", "faulty-tcp", clean, faulty)
+}

@@ -35,6 +35,7 @@ import (
 	"sleepmst/internal/graph"
 	"sleepmst/internal/metrics"
 	"sleepmst/internal/trace"
+	"sleepmst/internal/transport"
 )
 
 // Sizer lets a message type declare its size in bits for congestion
@@ -179,6 +180,16 @@ type Config struct {
 	// tallies from the scheduler; node programs may add their own via
 	// Node.Metrics). Nil disables the accounting.
 	Metrics *metrics.Registry
+	// Transport, if non-nil, carries every same-round delivery as an
+	// encoded wire frame through the given backend (see
+	// internal/transport). The simulator keeps all model decisions —
+	// losses to sleeping receivers, the CONGEST bit cap, awake
+	// metering — so the run's traces, verdicts, metrics, and Result
+	// are byte-identical to the in-memory run. Run calls
+	// Transport.Listen; the caller owns Close. Incompatible with
+	// Chooser (model checking stays in-memory). Nil — the default —
+	// keeps delivery entirely in-process with no wire encoding.
+	Transport transport.Transport
 }
 
 // DefaultMaxRounds caps runaway simulations.
@@ -539,6 +550,10 @@ type runtime struct {
 	// sendOrder/sendPool are chooseSendOrder scratch, reused across
 	// rounds; nil unless a Chooser is configured.
 	sendOrder, sendPool []int
+
+	// tx is the transport shim state; nil unless Config.Transport is
+	// set (see transport.go).
+	tx *txState
 }
 
 // delayedMsg is one interceptor-postponed message copy: it reaches
@@ -644,6 +659,15 @@ func Run(cfg Config, prog Program) (*Result, error) {
 	}
 	if cfg.Metrics != nil {
 		rt.kindTally = make(map[string]int64)
+	}
+	if cfg.Transport != nil {
+		if cfg.Chooser != nil {
+			return nil, errors.New("sim: config cannot combine Transport with Chooser (model checking stays in-memory)")
+		}
+		if err := cfg.Transport.Listen(n); err != nil {
+			return nil, fmt.Errorf("sim: transport listen: %w", err)
+		}
+		rt.tx = newTxState(cfg.Transport, n)
 	}
 	// One contiguous node arena (struct-of-arrays style bookkeeping
 	// lives in rt.res and the engines; the program-facing handles sit
@@ -774,7 +798,7 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 	for _, idx := range senders {
 		nd := rt.nodes[idx]
 		ports := rt.cfg.Graph.Ports(idx)
-		if itc == nil && rt.rec == nil && ch == nil {
+		if itc == nil && rt.rec == nil && ch == nil && rt.tx == nil {
 			for p, msg := range nd.out {
 				bits := MessageBits(msg)
 				if rt.cfg.BitCap > 0 && bits > rt.cfg.BitCap {
@@ -834,7 +858,7 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 					}
 					continue
 				}
-				if err := rt.deposit(round, idx, p, ports[p].To, ports[p].RevPort, msg); err != nil {
+				if err := rt.route(round, 0, idx, p, ports[p].To, ports[p].RevPort, msg); err != nil {
 					return err
 				}
 				continue
@@ -871,7 +895,7 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 						}
 						continue
 					}
-					if err := rt.deposit(round, idx, p, ports[p].To, ports[p].RevPort, ev.Payload); err != nil {
+					if err := rt.route(round, 0, idx, p, ports[p].To, ports[p].RevPort, ev.Payload); err != nil {
 						return err
 					}
 					continue
@@ -885,6 +909,9 @@ func (rt *runtime) deliver(round int64, participants []int) error {
 				})
 			}
 		}
+	}
+	if rt.tx != nil {
+		return rt.txDrain(round)
 	}
 	return nil
 }
@@ -903,7 +930,7 @@ func (rt *runtime) deliverDelayed(round int64) error {
 			}
 			continue
 		}
-		if err := rt.deposit(round, d.from, d.fromPort, d.to, d.rev, d.msg); err != nil {
+		if err := rt.route(round, d.seq, d.from, d.fromPort, d.to, d.rev, d.msg); err != nil {
 			return err
 		}
 	}

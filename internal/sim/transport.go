@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"sleepmst/internal/transport"
+)
+
+// The transport shim: with Config.Transport set, every same-round
+// message copy that would reach an awake receiver is encoded into a
+// wire frame, carried by the backend, and decoded back before it is
+// deposited into the receiver's inbox. The simulator keeps all model
+// decisions — sleeping-receiver losses are decided at the sending
+// radio and never transmitted, the CONGEST bit cap is enforced on the
+// declared size at both ends, and awake metering is untouched — so a
+// run over a transport is byte-identical (traces, verdicts, metrics,
+// Result) to the in-memory run, which the differential suite in
+// internal/problem enforces.
+//
+// Delivery stays two-phase per round: the scheduler ships all of the
+// round's surviving copies, then drains each receiver's expected
+// frame count and deposits in the canonical order (scheduler-delayed
+// copies first, by their FIFO sequence, then fresh sends by sender
+// and port — exactly the in-memory deposit order).
+
+// txState is the per-run transport bookkeeping, owned by the
+// scheduler goroutine.
+type txState struct {
+	tx    transport.Transport
+	n     int
+	links map[int64]transport.Link
+	// expect[v] counts frames shipped towards v this round; pending
+	// lists the v with expect[v] > 0.
+	expect  []int
+	pending []int
+	frames  []transport.Frame // drain scratch
+}
+
+func newTxState(tx transport.Transport, n int) *txState {
+	return &txState{tx: tx, n: n, links: make(map[int64]transport.Link), expect: make([]int, n)}
+}
+
+// route carries one message copy towards an awake receiver: straight
+// to deposit without a transport, over the wire otherwise. seq is 0
+// for a fresh same-round send and the scheduler's FIFO sequence for a
+// copy the interceptor delayed into this round.
+func (rt *runtime) route(round, seq int64, from, fromPort, to, rev int, msg interface{}) error {
+	if rt.tx == nil {
+		return rt.deposit(round, from, fromPort, to, rev, msg)
+	}
+	if err := rt.tx.ship(round, seq, from, fromPort, to, rev, msg); err != nil {
+		return fmt.Errorf("sim: transport: %w (%w)", err, ErrAborted)
+	}
+	return nil
+}
+
+// ship encodes the payload and hands the frame to the backend.
+func (s *txState) ship(round, seq int64, from, fromPort, to, rev int, msg interface{}) (err error) {
+	defer transport.RecoverEncode(&err)
+	// Each frame owns its payload: backends hold the slice until the
+	// drain, so the encode buffer cannot be recycled across sends.
+	payload, err := transport.EncodeMessage(nil, msg)
+	if err != nil {
+		return err
+	}
+	key := int64(from)*int64(s.n) + int64(to)
+	link, ok := s.links[key]
+	if !ok {
+		if link, err = s.tx.Dial(from, to); err != nil {
+			return err
+		}
+		s.links[key] = link
+	}
+	f := transport.Frame{
+		Round: round, Seq: seq,
+		From: int32(from), Port: int32(fromPort),
+		To: int32(to), Rev: int32(rev),
+		Payload: payload,
+	}
+	if err := link.Send(f); err != nil {
+		return err
+	}
+	if s.expect[to] == 0 {
+		s.pending = append(s.pending, to)
+	}
+	s.expect[to]++
+	return nil
+}
+
+// txDrain receives every frame shipped this round and deposits the
+// decoded copies in the canonical in-memory order.
+func (rt *runtime) txDrain(round int64) error {
+	s := rt.tx
+	if len(s.pending) == 0 {
+		return nil
+	}
+	sort.Ints(s.pending)
+	for _, to := range s.pending {
+		want := s.expect[to]
+		s.expect[to] = 0
+		s.frames = s.frames[:0]
+		for i := 0; i < want; i++ {
+			f, err := s.tx.Recv(to)
+			if err != nil {
+				return fmt.Errorf("sim: transport: round %d node %d: received %d of %d frame(s): %w (%w)",
+					round, to, i, want, err, ErrAborted)
+			}
+			if f.Round != round || int(f.To) != to {
+				return fmt.Errorf("sim: transport: node %d drained stray frame (round %d from %d) during round %d: %w",
+					to, f.Round, f.From, round, ErrAborted)
+			}
+			s.frames = append(s.frames, f)
+		}
+		// Canonical deposit order: scheduler-delayed copies first, in
+		// their FIFO sequence, then fresh sends by (sender, port) — the
+		// order the in-memory path deposits in, so a fresh message
+		// overwrites a stale same-port replay, not vice versa.
+		sort.Slice(s.frames, func(i, j int) bool {
+			a, b := s.frames[i], s.frames[j]
+			if (a.Seq > 0) != (b.Seq > 0) {
+				return a.Seq > 0
+			}
+			if a.Seq > 0 {
+				return a.Seq < b.Seq
+			}
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			return a.Port < b.Port
+		})
+		for _, f := range s.frames {
+			msg, err := transport.DecodePayload(f.Payload)
+			if err != nil {
+				return fmt.Errorf("sim: transport: node %d round %d: %w (%w)", to, round, err, ErrAborted)
+			}
+			if err := rt.deposit(round, int(f.From), int(f.Port), int(f.To), int(f.Rev), msg); err != nil {
+				return err
+			}
+		}
+	}
+	s.pending = s.pending[:0]
+	return nil
+}

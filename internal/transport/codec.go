@@ -1,0 +1,340 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// The wire codec. Every message type that crosses a transport
+// registers a Codec under a stable numeric kind; EncodeMessage writes
+// a self-describing body (uvarint kind + fields) and DecodeMessage
+// reproduces the exact concrete Go value, so receive-side type
+// assertions and Sizer/Kinded dispatch behave identically to the
+// in-memory delivery path. Codecs may nest: a wrapper message encodes
+// its payload with EncodeMessage recursively (kind KindNil carries a
+// nil payload).
+//
+// Kind ranges, to keep registrations collision-free across packages:
+// 0 is reserved (nil), 1-15 transport-internal/test, 16-31
+// internal/ldt, 32-63 internal/core, 64-79 internal/problem.
+
+// KindNil is the reserved kind of a nil payload.
+const KindNil = 0
+
+// Codec binds one concrete message type to its wire encoding.
+type Codec struct {
+	// Kind is the stable wire id (see the range allocation above).
+	Kind uint16
+	// Name labels the codec in errors.
+	Name string
+	// Type is the concrete Go type the codec serves.
+	Type reflect.Type
+	// Encode appends the message body (without the kind tag) to w.
+	Encode func(msg interface{}, w *Writer)
+	// Decode reads the body back and returns the concrete value.
+	Decode func(r *Reader) interface{}
+}
+
+var (
+	codecMu      sync.RWMutex
+	codecsByKind = map[uint16]*Codec{}
+	codecsByType = map[reflect.Type]*Codec{}
+)
+
+// Register installs a message codec. It panics on a duplicate kind or
+// type — registration is an init-time programming contract, not a
+// runtime condition.
+func Register(c Codec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if c.Kind == KindNil {
+		panic(fmt.Sprintf("transport: codec %q claims reserved kind 0", c.Name))
+	}
+	if prev, ok := codecsByKind[c.Kind]; ok {
+		panic(fmt.Sprintf("transport: codec kind %d already registered as %q", c.Kind, prev.Name))
+	}
+	if prev, ok := codecsByType[c.Type]; ok {
+		panic(fmt.Sprintf("transport: codec type %v already registered as %q", c.Type, prev.Name))
+	}
+	cp := c
+	codecsByKind[c.Kind] = &cp
+	codecsByType[c.Type] = &cp
+}
+
+// RegisteredKinds returns the registered codec names sorted by kind,
+// for diagnostics and registration-coverage tests.
+func RegisteredKinds() []string {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	kinds := make([]int, 0, len(codecsByKind))
+	for k := range codecsByKind {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	out := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, fmt.Sprintf("%d:%s", k, codecsByKind[uint16(k)].Name))
+	}
+	return out
+}
+
+// EncodeMessage appends the self-describing encoding of msg (uvarint
+// kind + body) to buf and returns the extended slice. A nil msg
+// encodes as KindNil; an unregistered type is an error — the caller
+// aborts the run rather than ship an inexpressible payload.
+func EncodeMessage(buf []byte, msg interface{}) ([]byte, error) {
+	if msg == nil {
+		return binary.AppendUvarint(buf, KindNil), nil
+	}
+	codecMu.RLock()
+	c, ok := codecsByType[reflect.TypeOf(msg)]
+	codecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no codec registered for message type %T", msg)
+	}
+	w := Writer{buf: binary.AppendUvarint(buf, uint64(c.Kind))}
+	c.Encode(msg, &w)
+	return w.buf, nil
+}
+
+// DecodeMessage reads one self-describing message from r. It returns
+// nil for KindNil and an error for an unknown kind or a truncated
+// body.
+func DecodeMessage(r *Reader) (interface{}, error) {
+	kind := r.Uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if kind == KindNil {
+		return nil, nil
+	}
+	codecMu.RLock()
+	c, ok := codecsByKind[uint16(kind)]
+	codecMu.RUnlock()
+	if !ok || kind > 1<<16-1 {
+		return nil, fmt.Errorf("transport: unknown message kind %d on the wire", kind)
+	}
+	msg := c.Decode(r)
+	if r.err != nil {
+		return nil, fmt.Errorf("transport: decoding %q: %w", c.Name, r.err)
+	}
+	return msg, nil
+}
+
+// DecodePayload decodes a frame payload produced by EncodeMessage,
+// requiring the body to be consumed exactly.
+func DecodePayload(payload []byte) (interface{}, error) {
+	r := Reader{buf: payload}
+	msg, err := DecodeMessage(&r)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("transport: %d trailing payload byte(s) after decode", len(r.buf)-r.off)
+	}
+	return msg, nil
+}
+
+// Writer appends primitive fields in the canonical wire order. The
+// zero value writes into a fresh buffer.
+type Writer struct {
+	buf []byte
+}
+
+// Int appends a zig-zag varint.
+func (w *Writer) Int(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Uint appends a uvarint.
+func (w *Writer) Uint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Bool appends one byte, 0 or 1.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+}
+
+// Nested appends a nested self-describing message; an unregistered
+// payload type panics (codecs run inside EncodeMessage, which has no
+// error channel per field — the panic is converted to an error at the
+// frame boundary by the sim shim's send path).
+func (w *Writer) Nested(msg interface{}) {
+	buf, err := EncodeMessage(w.buf, msg)
+	if err != nil {
+		panic(codecPanic{err})
+	}
+	w.buf = buf
+}
+
+// codecPanic carries a nested-encode error through Encode callbacks.
+type codecPanic struct{ err error }
+
+// RecoverEncode converts a codecPanic raised by Writer.Nested back
+// into an error; other panics are re-raised. Use it in a defer around
+// EncodeMessage calls that may hit nested unregistered payloads.
+func RecoverEncode(err *error) {
+	if r := recover(); r != nil {
+		if cp, ok := r.(codecPanic); ok {
+			*err = cp.err
+			return
+		}
+		panic(r)
+	}
+}
+
+// Reader consumes primitive fields in the canonical wire order. The
+// first malformed field poisons the reader; check Err (or rely on
+// DecodeMessage, which does).
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Int reads a zig-zag varint.
+func (r *Reader) Int() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("truncated varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Uvarint reads a uvarint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("truncated uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bool reads one byte as a bool.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.buf) {
+		r.err = fmt.Errorf("truncated bool at offset %d", r.off)
+		return false
+	}
+	b := r.buf[r.off]
+	r.off++
+	if b > 1 {
+		r.err = fmt.Errorf("malformed bool byte %d at offset %d", b, r.off-1)
+		return false
+	}
+	return b == 1
+}
+
+// Nested reads a nested self-describing message.
+func (r *Reader) Nested() interface{} {
+	if r.err != nil {
+		return nil
+	}
+	msg, err := DecodeMessage(r)
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	return msg
+}
+
+// MaxFrameBytes bounds one marshaled frame; a length prefix beyond it
+// is treated as stream corruption rather than an allocation request.
+const MaxFrameBytes = 1 << 20
+
+// AppendFrame appends the length-prefixed binary encoding of f to buf:
+// uvarint body length, then varint Round and Seq, varint routing
+// coordinates, and the uvarint-prefixed payload.
+func AppendFrame(buf []byte, f Frame) []byte {
+	body := make([]byte, 0, 32+len(f.Payload))
+	body = binary.AppendVarint(body, f.Round)
+	body = binary.AppendVarint(body, f.Seq)
+	body = binary.AppendVarint(body, int64(f.From))
+	body = binary.AppendVarint(body, int64(f.Port))
+	body = binary.AppendVarint(body, int64(f.To))
+	body = binary.AppendVarint(body, int64(f.Rev))
+	body = binary.AppendUvarint(body, uint64(len(f.Payload)))
+	body = append(body, f.Payload...)
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	return append(buf, body...)
+}
+
+// ReadFrame reads one length-prefixed frame from br.
+func ReadFrame(br *bufio.Reader) (Frame, error) {
+	length, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Frame{}, err
+	}
+	if length > MaxFrameBytes {
+		return Frame{}, fmt.Errorf("transport: frame length %d exceeds cap %d (stream corrupt?)", length, MaxFrameBytes)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return Frame{}, fmt.Errorf("transport: truncated frame: %w", err)
+	}
+	r := Reader{buf: body}
+	var f Frame
+	f.Round = r.Int()
+	f.Seq = r.Int()
+	f.From = int32(r.Int())
+	f.Port = int32(r.Int())
+	f.To = int32(r.Int())
+	f.Rev = int32(r.Int())
+	plen := r.Uvarint()
+	if r.err != nil {
+		return Frame{}, fmt.Errorf("transport: malformed frame header: %w", r.err)
+	}
+	if int(plen) != len(body)-r.off {
+		return Frame{}, fmt.Errorf("transport: frame payload length %d disagrees with body remainder %d", plen, len(body)-r.off)
+	}
+	f.Payload = body[r.off:]
+	return f, nil
+}
+
+// FrameWireBytes returns the exact on-the-wire size of f — the byte
+// count AppendFrame would produce — without building the encoding, so
+// wire accounting costs no allocation.
+func FrameWireBytes(f Frame) int64 {
+	body := varintLen(f.Round) + varintLen(f.Seq) +
+		varintLen(int64(f.From)) + varintLen(int64(f.Port)) +
+		varintLen(int64(f.To)) + varintLen(int64(f.Rev)) +
+		uvarintLen(uint64(len(f.Payload))) + int64(len(f.Payload))
+	return uvarintLen(uint64(body)) + body
+}
+
+// uvarintLen returns the encoded size of x as a uvarint.
+func uvarintLen(x uint64) int64 {
+	n := int64(1)
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen returns the encoded size of v as a zig-zag varint.
+func varintLen(v int64) int64 {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConfig parameterizes WithFaults. Probabilities are in [0, 1];
+// decisions are a pure hash of (Seed, frame coordinates, attempt), so
+// a faulty run is reproducible given the same seed and schedule.
+type FaultConfig struct {
+	// Seed keys the fault hash.
+	Seed uint64
+	// DropProb is the per-attempt probability a Send attempt fails
+	// transiently. A drop is never injected on a send's final permitted
+	// attempt, so with Retries > 0 the underlying link still delivers
+	// every frame — faults stress the retry path without changing the
+	// algorithm outcome. With Retries == 0 a drop is permanent.
+	DropProb float64
+	// DelayProb is the per-frame probability a Send sleeps MaxDelay-ish
+	// before transmitting.
+	DelayProb float64
+	// MaxDelay bounds an injected delay (default 2ms).
+	MaxDelay time.Duration
+	// Retries is the per-frame fault-retry budget beyond the first
+	// attempt. It is the faulty link's own loop — independent of any
+	// retrying the wrapped backend does below it.
+	Retries int
+}
+
+// WithFaults wraps a backend with deterministic transport-level fault
+// injection: the chaos drop/delay policies reinterpreted as wire
+// faults. Injected drops are transient send failures retried within
+// cfg.Retries; injected delays are real sleeps before transmission.
+func WithFaults(inner Transport, cfg FaultConfig) *Faulty {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	return &Faulty{inner: inner, cfg: cfg}
+}
+
+// Faulty decorates a Transport with injected wire faults; see
+// WithFaults.
+type Faulty struct {
+	inner Transport
+	cfg   FaultConfig
+
+	injectedDrops  atomic.Int64
+	injectedDelays atomic.Int64
+}
+
+// Listen brings up the wrapped backend.
+func (t *Faulty) Listen(n int) error { return t.inner.Listen(n) }
+
+// Recv delegates to the wrapped backend.
+func (t *Faulty) Recv(to int) (Frame, error) { return t.inner.Recv(to) }
+
+// Close tears down the wrapped backend.
+func (t *Faulty) Close() error { return t.inner.Close() }
+
+// Dial returns the from->to link with fault injection layered on top.
+func (t *Faulty) Dial(from, to int) (Link, error) {
+	l, err := t.inner.Dial(from, to)
+	if err != nil {
+		return nil, err
+	}
+	return faultyLink{t: t, inner: l}, nil
+}
+
+// TransportStats merges the wrapped backend's wire accounting with the
+// injection counters.
+func (t *Faulty) TransportStats() Stats {
+	var s Stats
+	if st, ok := t.inner.(Statser); ok {
+		s = st.TransportStats()
+	}
+	s.InjectedDrops = t.injectedDrops.Load()
+	s.InjectedDelays = t.injectedDelays.Load()
+	return s
+}
+
+// faultyLink perturbs Send with hash-derived drops and delays.
+type faultyLink struct {
+	t     *Faulty
+	inner Link
+}
+
+// Send transmits the frame, injecting transient drops (retried up to
+// the configured budget) and delays along the way.
+func (l faultyLink) Send(f Frame) error {
+	cfg := l.t.cfg
+	if cfg.DelayProb > 0 && faultRoll(cfg.Seed, f, 'y', 0) < cfg.DelayProb {
+		l.t.injectedDelays.Add(1)
+		time.Sleep(faultDelay(cfg.Seed, f, cfg.MaxDelay))
+	}
+	for attempt := 0; ; attempt++ {
+		if cfg.DropProb > 0 && attempt < cfg.Retries &&
+			faultRoll(cfg.Seed, f, 'd', attempt) < cfg.DropProb {
+			// Transient injected drop: the frame never reaches the wire
+			// this attempt. Never injected on the final attempt, so the
+			// retry budget masks every injected drop.
+			l.t.injectedDrops.Add(1)
+			continue
+		}
+		if cfg.DropProb > 0 && cfg.Retries == 0 &&
+			faultRoll(cfg.Seed, f, 'd', 0) < cfg.DropProb {
+			// No retry budget: the drop is permanent. The receiver's
+			// round barrier times out and the run fails loudly.
+			l.t.injectedDrops.Add(1)
+			return nil
+		}
+		err := l.inner.Send(f)
+		if err == nil || attempt >= cfg.Retries {
+			if err != nil {
+				return fmt.Errorf("transport: faulty link: %w", err)
+			}
+			return nil
+		}
+	}
+}
+
+// faultRoll maps (seed, frame coordinates, channel, attempt) to a
+// uniform float64 in [0, 1) via splitmix64 — stateless, so decisions
+// do not depend on goroutine interleaving.
+func faultRoll(seed uint64, f Frame, channel byte, attempt int) float64 {
+	h := splitmix64(seed ^ uint64(channel))
+	h = splitmix64(h ^ uint64(f.Round)<<32 ^ uint64(uint32(f.From)))
+	h = splitmix64(h ^ uint64(uint32(f.To))<<32 ^ uint64(uint32(f.Port)))
+	h = splitmix64(h ^ uint64(f.Seq)<<16 ^ uint64(attempt))
+	return float64(h>>11) / (1 << 53)
+}
+
+// faultDelay derives a deterministic delay in (0, max] for the frame.
+func faultDelay(seed uint64, f Frame, max time.Duration) time.Duration {
+	frac := faultRoll(seed, f, 'l', 0)
+	d := time.Duration(frac * float64(max))
+	if d <= 0 {
+		d = time.Microsecond
+	}
+	return d
+}
+
+// splitmix64 is the standard 64-bit mix (same construction the chaos
+// package uses for stateless per-event decisions).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Inproc is the in-process reference backend: per-node frame queues
+// standing in for sockets. Frames still carry codec-encoded payloads,
+// so a run over Inproc exercises the exact wire representation TCP
+// ships — which is what lets the differential suite certify the codec
+// against the transportless simulator byte-for-byte, and the TCP
+// backend against Inproc.
+type Inproc struct {
+	// RecvTimeout bounds one Recv (0 = DefaultRecvTimeout). The
+	// in-process backend cannot lose frames, so a timeout here always
+	// indicates a routing bug (or an injected fault that exhausted its
+	// retry budget upstream).
+	RecvTimeout time.Duration
+
+	mu     sync.Mutex
+	queues []*frameQueue
+	closed bool
+
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	wireBytes  atomic.Int64
+	dials      atomic.Int64
+}
+
+// DefaultRecvTimeout bounds a single Recv when the backend does not
+// override it.
+const DefaultRecvTimeout = 30 * time.Second
+
+// NewInproc returns an in-process backend; call Listen before use.
+func NewInproc() *Inproc { return &Inproc{} }
+
+// Listen brings up the n node queues.
+func (t *Inproc) Listen(n int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.queues != nil {
+		return fmt.Errorf("transport: inproc backend already listening on %d nodes", len(t.queues))
+	}
+	if n <= 0 {
+		return fmt.Errorf("transport: inproc backend needs n > 0, got %d", n)
+	}
+	t.queues = make([]*frameQueue, n)
+	for i := range t.queues {
+		t.queues[i] = newFrameQueue()
+	}
+	return nil
+}
+
+// inprocLink delivers frames straight into the destination queue.
+type inprocLink struct {
+	t  *Inproc
+	to int
+}
+
+// Send enqueues the frame at the destination endpoint.
+func (l inprocLink) Send(f Frame) error {
+	l.t.mu.Lock()
+	closed := l.t.closed
+	l.t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	l.t.framesSent.Add(1)
+	l.t.wireBytes.Add(FrameWireBytes(f))
+	l.t.queues[l.to].push(f)
+	return nil
+}
+
+// Dial returns the from->to link.
+func (t *Inproc) Dial(from, to int) (Link, error) {
+	t.mu.Lock()
+	n := len(t.queues)
+	t.mu.Unlock()
+	if err := checkNode("dialing", from, n); err != nil {
+		return nil, err
+	}
+	if err := checkNode("dialed", to, n); err != nil {
+		return nil, err
+	}
+	t.dials.Add(1)
+	return inprocLink{t: t, to: to}, nil
+}
+
+// Recv pops the next frame arrived at node to.
+func (t *Inproc) Recv(to int) (Frame, error) {
+	t.mu.Lock()
+	n := len(t.queues)
+	t.mu.Unlock()
+	if err := checkNode("receiving", to, n); err != nil {
+		return Frame{}, err
+	}
+	timeout := t.RecvTimeout
+	if timeout <= 0 {
+		timeout = DefaultRecvTimeout
+	}
+	f, err := t.queues[to].pop(timeout)
+	if err == nil {
+		t.framesRecv.Add(1)
+	}
+	return f, err
+}
+
+// Close tears the queues down; blocked Recv calls return ErrClosed.
+func (t *Inproc) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	for _, q := range t.queues {
+		q.close()
+	}
+	return nil
+}
+
+// TransportStats returns the wire accounting snapshot.
+func (t *Inproc) TransportStats() Stats {
+	return Stats{
+		FramesSent: t.framesSent.Load(),
+		FramesRecv: t.framesRecv.Load(),
+		WireBytes:  t.wireBytes.Load(),
+		Dials:      t.dials.Load(),
+	}
+}

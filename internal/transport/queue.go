@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// frameQueue is an unbounded MPSC frame queue: endpoint readers push,
+// the scheduler pops. Unbounded on purpose — the scheduler drains a
+// round's frames only after it finished sending the round, so a
+// bounded queue could deadlock the senders against the drain.
+type frameQueue struct {
+	mu     sync.Mutex
+	buf    []Frame
+	sig    chan struct{} // capacity 1: "the queue may be non-empty"
+	done   chan struct{} // closed by close()
+	closed bool
+}
+
+func newFrameQueue() *frameQueue {
+	return &frameQueue{sig: make(chan struct{}, 1), done: make(chan struct{})}
+}
+
+// push appends a frame and nudges a blocked pop.
+func (q *frameQueue) push(f Frame) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.buf = append(q.buf, f)
+	q.mu.Unlock()
+	select {
+	case q.sig <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes the oldest frame, blocking up to timeout.
+func (q *frameQueue) pop(timeout time.Duration) (Frame, error) {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		q.mu.Lock()
+		if len(q.buf) > 0 {
+			f := q.buf[0]
+			q.buf[0] = Frame{} // release the payload reference
+			q.buf = q.buf[1:]
+			if len(q.buf) == 0 {
+				q.buf = nil // let the backing array go once drained
+			}
+			q.mu.Unlock()
+			return f, nil
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return Frame{}, ErrClosed
+		}
+		if timer == nil {
+			timer = time.NewTimer(timeout)
+		}
+		select {
+		case <-q.sig:
+		case <-q.done:
+		case <-timer.C:
+			return Frame{}, ErrTimeout
+		}
+	}
+}
+
+// close wakes blocked pops with ErrClosed once the buffer drains.
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.done)
+}

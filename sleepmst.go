@@ -39,6 +39,7 @@ import (
 	"sleepmst/internal/problem"
 	"sleepmst/internal/sim"
 	"sleepmst/internal/trace"
+	"sleepmst/internal/transport"
 )
 
 // Graph is a weighted undirected network with CONGEST port numbering.
@@ -180,6 +181,9 @@ func Run(a Algorithm, g *Graph, opts Options) (*Report, error) {
 
 // ReferenceMST returns the unique MST via sequential Kruskal.
 func ReferenceMST(g *Graph) []Edge { return graph.Kruskal(g) }
+
+// TotalWeight sums the weights of an edge set.
+func TotalWeight(edges []Edge) int64 { return graph.TotalWeight(edges) }
 
 // Graph constructors -----------------------------------------------------
 
@@ -543,4 +547,72 @@ type ModelCheckViolation = modelcheck.Violation
 // error reports infrastructure failures only.
 func ModelCheck(cfg ModelCheckConfig) (*ModelCheckVerdict, error) {
 	return modelcheck.Explore(cfg)
+}
+
+// Transports ----------------------------------------------------------------
+
+// Transport is a pluggable wire backend: with Options.Transport set,
+// every same-round delivery travels as an encoded binary frame
+// through the backend instead of staying in scheduler memory, while
+// the simulator keeps every model decision (sleeping-receiver losses,
+// the CONGEST bit cap, awake metering). Results are byte-identical to
+// the in-memory run. See internal/transport.
+type Transport = transport.Transport
+
+// TransportStats is the physical wire accounting of one run: frames,
+// bytes, dials, retries, injected faults.
+type TransportStats = transport.Stats
+
+// TCPTransportConfig parameterizes NewTCPTransport; the zero value
+// uses the package defaults (loopback, 8 retries, exponential
+// backoff).
+type TCPTransportConfig = transport.TCPConfig
+
+// TransportFaultConfig parameterizes WithTransportFaults: seeded
+// drop/delay probabilities and the retry budget that masks injected
+// drops.
+type TransportFaultConfig = transport.FaultConfig
+
+// NewInprocTransport returns the in-process reference backend: frames
+// pass through the full encode/decode path without leaving the
+// process, proving codec fidelity at zero deployment cost.
+func NewInprocTransport() Transport { return transport.NewInproc() }
+
+// NewTCPTransport returns the TCP backend: every node a long-lived
+// server on a loopback ephemeral port, with per-link retry and
+// graceful shutdown.
+func NewTCPTransport(cfg TCPTransportConfig) Transport { return transport.NewTCP(cfg) }
+
+// WithTransportFaults wraps a backend with deterministic wire-level
+// fault injection (the chaos drop/delay policies reinterpreted as
+// transport faults); injected drops are masked by the retry budget,
+// so the run's outcome is unchanged while the retry path is
+// exercised.
+func WithTransportFaults(inner Transport, cfg TransportFaultConfig) Transport {
+	return transport.WithFaults(inner, cfg)
+}
+
+// TransportStatsOf extracts the wire accounting from a backend, ok =
+// false when the backend does not meter traffic.
+func TransportStatsOf(tx Transport) (TransportStats, bool) {
+	if st, ok := tx.(transport.Statser); ok {
+		return st.TransportStats(), true
+	}
+	return TransportStats{}, false
+}
+
+// ParseTransport converts a CLI transport name into a fresh backend:
+// "" or "none" mean in-memory delivery (nil Transport), "inproc" the
+// in-process frame backend, "tcp" real loopback sockets.
+func ParseTransport(s string) (Transport, error) {
+	switch s {
+	case "", "none":
+		return nil, nil
+	case "inproc":
+		return transport.NewInproc(), nil
+	case "tcp":
+		return transport.NewTCP(transport.TCPConfig{}), nil
+	default:
+		return nil, fmt.Errorf("sleepmst: unknown transport %q (want none, inproc, or tcp)", s)
+	}
 }
