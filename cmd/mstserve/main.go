@@ -102,7 +102,7 @@ func main() {
 		probName  = flag.String("problem", "mst/randomized", "problem to serve (qualified name such as mst/randomized or mis, or a bare MST alias)")
 		engName   = flag.String("engine", "event", "simulator scheduler: event or goroutine")
 		txName    = flag.String("transport", "tcp", "wire backend: tcp (real loopback sockets, default) or inproc")
-		retries   = flag.Int("retries", transport.DefaultRetries, "per-frame send retry budget (masks injected drops; 0 = drops are permanent)")
+		retries   = flag.Int("retries", transport.DefaultRetries, "per-frame send retry budget (masks injected drops; 0 = single-attempt sends, drops are permanent)")
 		timeout   = flag.Duration("timeout", transport.DefaultRecvTimeout, "round-barrier receive deadline")
 		dropProb  = flag.Float64("drop", 0, "injected per-attempt wire drop probability in [0,1]")
 		delayProb = flag.Float64("delay", 0, "injected per-frame wire delay probability in [0,1]")
@@ -246,6 +246,11 @@ func serve(graphKind string, n, m, rows int, radius float64, seed int64,
 func buildTransport(name string, retries int, timeout time.Duration) (sleepmst.Transport, error) {
 	switch name {
 	case "tcp":
+		if retries <= 0 {
+			// TCPConfig treats 0 as "use the default"; -retries 0 must
+			// genuinely disable the wire retry budget.
+			retries = transport.NoRetries
+		}
 		return transport.NewTCP(transport.TCPConfig{Retries: retries, RecvTimeout: timeout}), nil
 	case "inproc":
 		t := transport.NewInproc()

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"sleepmst/internal/chaos"
 	"sleepmst/internal/conform"
 	"sleepmst/internal/core"
 	"sleepmst/internal/graph"
@@ -160,6 +161,91 @@ func TestTransportAllProblems(t *testing.T) {
 			diffTxCompare(t, "plain", "inproc", plain, inproc)
 			diffTxCompare(t, "inproc", "tcp", inproc, tcp)
 		})
+	}
+}
+
+// dupTransport wraps a backend to act like the worst legal
+// at-least-once wire: every frame is shipped twice, and the first
+// send of each new round re-ships the link's previous frame — a
+// retransmission surfacing after its round already drained. The
+// simulator's drain must filter both duplicate kinds (same-round by
+// frame coordinates, stale by round), so a run over this wire stays
+// byte-identical to the plain in-memory run.
+type dupTransport struct {
+	transport.Transport
+}
+
+func (d dupTransport) Dial(from, to int) (transport.Link, error) {
+	l, err := d.Transport.Dial(from, to)
+	if err != nil {
+		return nil, err
+	}
+	return &dupLink{inner: l}, nil
+}
+
+type dupLink struct {
+	inner transport.Link
+	last  transport.Frame
+	has   bool
+}
+
+func (l *dupLink) Send(f transport.Frame) error {
+	if l.has && l.last.Round < f.Round {
+		// Stale duplicate: the original was drained last round.
+		if err := l.inner.Send(l.last); err != nil {
+			return err
+		}
+	}
+	l.last, l.has = f, true
+	if err := l.inner.Send(f); err != nil {
+		return err
+	}
+	// Same-round duplicate of every frame.
+	return l.inner.Send(f)
+}
+
+// TestTransportDuplicateDelivery pins the receiver-side dedup: TCP
+// redial-and-resend can deliver a frame twice (a send error does not
+// prove loss), and the drain must not let a duplicate displace a real
+// frame or abort a later round as a stray. The delays mode adds a
+// delay/dup interceptor to produce Seq > 0 delayed-copy frames, so
+// their dedup key is exercised too; like the chaos cells of the main
+// sweep, that mode only demands byte-identical behavior (chaos may
+// legitimately break the algorithm, but it must break both runs
+// identically — before the dedup fix the dup wire aborted with
+// "drained stray frame" errors the plain run never produced).
+func TestTransportDuplicateDelivery(t *testing.T) {
+	for _, name := range []string{"mst/randomized", "mis"} {
+		p, err := problem.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, withDelays := range []bool{false, true} {
+			mode := "clean"
+			if withDelays {
+				mode = "delays"
+			}
+			t.Run(fmt.Sprintf("%s/%s", name, mode), func(t *testing.T) {
+				g := graph.RandomConnected(16, 32, graph.GenConfig{Seed: 16})
+				run := func(tx transport.Transport) engineRun {
+					if tx != nil {
+						defer tx.Close()
+					}
+					return runCellOpts(t, p, g, func(opts *core.Options) {
+						opts.Transport = tx
+						if withDelays {
+							opts.Interceptor = chaos.New(chaos.Options{Seed: 7, DelayRate: 0.15, DupRate: 0.05})
+						}
+					})
+				}
+				plain := run(nil)
+				dup := run(dupTransport{transport.NewInproc()})
+				if !withDelays && plain.err != nil {
+					t.Fatalf("plain run failed: %v", plain.err)
+				}
+				diffTxCompare(t, "plain", "dup-wire", plain, dup)
+			})
+		}
 	}
 }
 

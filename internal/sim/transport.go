@@ -19,10 +19,12 @@ import (
 // internal/problem enforces.
 //
 // Delivery stays two-phase per round: the scheduler ships all of the
-// round's surviving copies, then drains each receiver's expected
-// frame count and deposits in the canonical order (scheduler-delayed
-// copies first, by their FIFO sequence, then fresh sends by sender
-// and port — exactly the in-memory deposit order).
+// round's surviving copies, then drains each receiver until the
+// expected number of distinct frames arrived — wire duplicates from
+// at-least-once retries are filtered, not counted — and deposits in
+// the canonical order (scheduler-delayed copies first, by their FIFO
+// sequence, then fresh sends by sender and port — exactly the
+// in-memory deposit order).
 
 // txState is the per-run transport bookkeeping, owned by the
 // scheduler goroutine.
@@ -34,7 +36,16 @@ type txState struct {
 	// lists the v with expect[v] > 0.
 	expect  []int
 	pending []int
-	frames  []transport.Frame // drain scratch
+	frames  []transport.Frame     // drain scratch
+	seen    map[frameKey]struct{} // per-drain dedup scratch
+}
+
+// frameKey identifies one routed copy within a (round, receiver)
+// drain: fresh sends are unique per (sender, port), delayed replays
+// per FIFO sequence, so two frames sharing a key are wire duplicates.
+type frameKey struct {
+	seq        int64
+	from, port int32
 }
 
 func newTxState(tx transport.Transport, n int) *txState {
@@ -96,20 +107,37 @@ func (rt *runtime) txDrain(round int64) error {
 		return nil
 	}
 	sort.Ints(s.pending)
+	if s.seen == nil {
+		s.seen = make(map[frameKey]struct{})
+	}
 	for _, to := range s.pending {
 		want := s.expect[to]
 		s.expect[to] = 0
 		s.frames = s.frames[:0]
-		for i := 0; i < want; i++ {
+		clear(s.seen)
+		// Drain-and-filter until `want` distinct frames arrive: the wire
+		// is at-least-once (a sender's retry can duplicate a frame that
+		// did reach us before the write error surfaced), so duplicates —
+		// same coordinates this round, or a stale retransmit of an
+		// earlier round — are dropped without counting toward want.
+		for len(s.frames) < want {
 			f, err := s.tx.Recv(to)
 			if err != nil {
 				return fmt.Errorf("sim: transport: round %d node %d: received %d of %d frame(s): %w (%w)",
-					round, to, i, want, err, ErrAborted)
+					round, to, len(s.frames), want, err, ErrAborted)
 			}
-			if f.Round != round || int(f.To) != to {
+			if int(f.To) != to || f.Round > round {
 				return fmt.Errorf("sim: transport: node %d drained stray frame (round %d from %d) during round %d: %w",
 					to, f.Round, f.From, round, ErrAborted)
 			}
+			if f.Round < round {
+				continue // stale duplicate of an already-drained round
+			}
+			key := frameKey{seq: f.Seq, from: f.From, port: f.Port}
+			if _, dup := s.seen[key]; dup {
+				continue // same-round wire duplicate
+			}
+			s.seen[key] = struct{}{}
 			s.frames = append(s.frames, f)
 		}
 		// Canonical deposit order: scheduler-delayed copies first, in

@@ -37,6 +37,9 @@ func WithFaults(inner Transport, cfg FaultConfig) *Faulty {
 	if cfg.MaxDelay <= 0 {
 		cfg.MaxDelay = 2 * time.Millisecond
 	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0 // NoRetries and below: drops are permanent
+	}
 	return &Faulty{inner: inner, cfg: cfg}
 }
 

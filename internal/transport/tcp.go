@@ -19,7 +19,9 @@ type TCPConfig struct {
 	Addr string
 	// Retries is the per-frame send budget beyond the first attempt: a
 	// broken connection is redialed with backoff up to this many times
-	// before Send gives up (default DefaultRetries).
+	// before Send gives up. 0 means DefaultRetries (keeping the zero
+	// TCPConfig usable); NoRetries — or any negative value — configures
+	// single-attempt sends.
 	Retries int
 	// Backoff is the base retry delay, doubled per attempt up to
 	// MaxBackoff (default DefaultBackoff).
@@ -36,6 +38,9 @@ type TCPConfig struct {
 const (
 	// DefaultRetries is the per-frame send budget beyond attempt one.
 	DefaultRetries = 8
+	// NoRetries configures single-attempt sends: TCPConfig.Retries == 0
+	// means "use the default", so zero retries needs its own sentinel.
+	NoRetries = -1
 	// DefaultBackoff is the base retry delay.
 	DefaultBackoff = 500 * time.Microsecond
 	// MaxBackoff caps the exponential retry delay.
@@ -51,6 +56,8 @@ func (c TCPConfig) withDefaults() TCPConfig {
 	}
 	if c.Retries == 0 {
 		c.Retries = DefaultRetries
+	} else if c.Retries < 0 {
+		c.Retries = 0 // NoRetries (and any negative): single attempt
 	}
 	if c.Backoff <= 0 {
 		c.Backoff = DefaultBackoff
@@ -74,13 +81,18 @@ func (c TCPConfig) withDefaults() TCPConfig {
 type TCP struct {
 	cfg TCPConfig
 
+	// closed lives outside mu so the dial/retry paths (which sleep
+	// between attempts) can poll it without touching the lock — Dial
+	// once deadlocked by holding mu across a connect() that re-locked
+	// it via isClosed.
+	closed atomic.Bool
+
 	mu        sync.Mutex
 	n         int
 	listeners []net.Listener
 	addrs     []string
 	queues    []*frameQueue
 	links     map[uint64]*tcpLink
-	closed    bool
 	wg        sync.WaitGroup
 
 	framesSent atomic.Int64
@@ -172,11 +184,11 @@ func (t *TCP) readLoop(node int, conn net.Conn) {
 	}
 }
 
-// isClosed reports whether Close ran.
+// isClosed reports whether Close ran. Lock-free: the retry loops call
+// it between backoff sleeps, where holding (or taking) t.mu would
+// stall — or deadlock — the rest of the backend.
 func (t *TCP) isClosed() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.closed
+	return t.closed.Load()
 }
 
 // tcpLink is one directed sender-side connection with redial + retry.
@@ -193,25 +205,47 @@ type tcpLink struct {
 // surface at link setup with a clear error.
 func (t *TCP) Dial(from, to int) (Link, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
+	if t.closed.Load() {
+		t.mu.Unlock()
 		return nil, ErrClosed
 	}
 	if err := checkNode("dialing", from, t.n); err != nil {
+		t.mu.Unlock()
 		return nil, err
 	}
 	if err := checkNode("dialed", to, t.n); err != nil {
+		t.mu.Unlock()
 		return nil, err
 	}
 	key := uint64(from)<<32 | uint64(uint32(to))
 	if l, ok := t.links[key]; ok {
+		t.mu.Unlock()
 		return l, nil
 	}
 	l := &tcpLink{t: t, addr: t.addrs[to]}
+	t.mu.Unlock()
+	// Connect outside t.mu: connect() sleeps between backoff attempts
+	// and polls the closed flag, neither of which may happen under the
+	// lock (Recv, Close, and Addr all take it).
 	if err := l.connect(); err != nil {
 		return nil, fmt.Errorf("transport: dial %d->%d (%s): %w", from, to, l.addr, err)
 	}
+	t.mu.Lock()
+	if t.closed.Load() {
+		// Close tore the mesh down while we were dialing; don't leak the
+		// connection past teardown.
+		t.mu.Unlock()
+		l.conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.links[key]; ok {
+		// A concurrent Dial won the race; keep its link.
+		t.mu.Unlock()
+		l.conn.Close()
+		return existing, nil
+	}
 	t.links[key] = l
+	t.mu.Unlock()
 	return l, nil
 }
 
@@ -242,7 +276,11 @@ func (l *tcpLink) connect() error {
 }
 
 // Send marshals and writes one frame, redialing on a broken
-// connection until the retry budget is exhausted.
+// connection until the retry budget is exhausted. Delivery is
+// at-least-once: a write error does not prove the frame was lost (TCP
+// can surface the failure after the bytes reached the peer), so a
+// retried frame may arrive twice — the receiver-side drain dedups by
+// frame coordinates.
 func (l *tcpLink) Send(f Frame) error {
 	l.buf = AppendFrame(l.buf[:0], f)
 	var err error
@@ -301,12 +339,10 @@ func (t *TCP) Recv(to int) (Frame, error) {
 // connections close, reader goroutines drain, and blocked Recv calls
 // return ErrClosed.
 func (t *TCP) Close() error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if !t.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	t.closed = true
+	t.mu.Lock()
 	t.teardownLocked()
 	t.mu.Unlock()
 	t.wg.Wait()

@@ -64,6 +64,11 @@ type Frame struct {
 // towards the link's destination endpoint; implementations retry
 // transient failures within their configured budget and return an
 // error only when the frame could not be handed to the wire at all.
+// Delivery is at-least-once, not exactly-once: a retried send may
+// duplicate a frame the receiver already has (the failure can surface
+// after the bytes arrived), so receivers must dedup by the frame's
+// routing coordinates (Round, Seq, From, Port) — the simulator's
+// round drain does.
 type Link interface {
 	// Send transmits one frame.
 	Send(Frame) error

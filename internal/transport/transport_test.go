@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -258,6 +259,90 @@ func TestTCPRedialAfterBrokenConn(t *testing.T) {
 	}
 	if s := tx.TransportStats(); s.Dials < 2 {
 		t.Fatalf("expected a redial, stats %+v", s)
+	}
+}
+
+// TestTCPDialDeadListener is the regression test for the Dial
+// self-deadlock: Dial used to hold t.mu across connect(), whose
+// closed-flag check re-locked the non-reentrant mutex on any failed
+// attempt — Dial hung forever and wedged Recv/Close behind the lock.
+// Dialing a node whose listener is gone must instead return the
+// documented dial error, with the rest of the backend still live.
+func TestTCPDialDeadListener(t *testing.T) {
+	tx := NewTCP(TCPConfig{
+		Retries: 2, Backoff: time.Millisecond,
+		DialTimeout: 200 * time.Millisecond, RecvTimeout: 50 * time.Millisecond,
+	})
+	if err := tx.Listen(2); err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	tx.listeners[1].Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := tx.Dial(0, 1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Dial to a dead listener should fail")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Dial deadlocked instead of returning the dial error")
+	}
+	// t.mu must be free again: Recv times out normally and Close
+	// returns instead of blocking behind a stuck Dial.
+	if _, err := tx.Recv(0); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Recv after failed Dial: got %v, want ErrTimeout", err)
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatalf("Close after failed Dial: %v", err)
+	}
+}
+
+// TestTCPRetriesConfig pins the Retries semantics: 0 keeps the zero
+// config usable (default budget), NoRetries and any negative value
+// mean single-attempt sends, and an exhausted zero budget returns a
+// real wrapped cause rather than a nil-wrap ("%!w(<nil>)").
+func TestTCPRetriesConfig(t *testing.T) {
+	if got := (TCPConfig{}).withDefaults().Retries; got != DefaultRetries {
+		t.Fatalf("zero config resolved to %d retries, want DefaultRetries", got)
+	}
+	if got := (TCPConfig{Retries: NoRetries}).withDefaults().Retries; got != 0 {
+		t.Fatalf("NoRetries resolved to %d retries, want 0", got)
+	}
+	if got := (TCPConfig{Retries: -5}).withDefaults().Retries; got != 0 {
+		t.Fatalf("Retries=-5 resolved to %d retries, want 0", got)
+	}
+
+	tx := NewTCP(TCPConfig{
+		Retries: NoRetries, Backoff: time.Millisecond,
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err := tx.Listen(2); err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	l, err := tx.Dial(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the destination and the established connection: the next
+	// Send has no retry budget, so it must fail after one attempt.
+	tx.listeners[1].Close()
+	tl := l.(*tcpLink)
+	tl.conn.Close()
+	tl.conn = nil
+	err = l.Send(Frame{Round: 1, To: 1})
+	if err == nil {
+		t.Fatal("Send with zero retry budget to a dead node should fail")
+	}
+	if msg := err.Error(); strings.Contains(msg, "%!w") || strings.Contains(msg, "<nil>") {
+		t.Fatalf("Send error wraps a nil cause: %q", msg)
+	}
+	if s := tx.TransportStats(); s.SendRetries != 0 {
+		t.Fatalf("zero budget still retried: stats %+v", s)
 	}
 }
 
