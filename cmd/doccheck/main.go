@@ -36,7 +36,9 @@ var auditedDirs = []string{
 	"internal/modelcheck",
 	"internal/problem",
 	"internal/prof",
+	"internal/service",
 	"internal/stats",
+	"internal/sweep",
 	"internal/trace",
 	"internal/transport",
 }

@@ -1,0 +1,313 @@
+// Command mstload is the seeded closed-loop load generator for the
+// persistent MST service (mstserve -serve): it pre-generates a
+// deterministic mixed request workload from one seed, drives it
+// through N concurrent closed-loop clients — each with its own
+// connection and at most one outstanding request — and verifies every
+// returned verdict instead of trusting status codes: artifacts must
+// parse, verdicts must pass, and (with -verify) every shipped trace
+// is independently re-certified through the conformance checker.
+//
+// The workload is a function of -seed and -total only, never of
+// -clients: the same seed replays the identical request list whether
+// one client or eight carry it, which is what makes the service's
+// determinism contract testable end to end. The report separates the
+// deterministic sections (per-request outcomes, the sha256 verdict
+// digest) from the timing sections (latency percentiles), so two runs
+// of the same seed can be compared on the former and benchmarked on
+// the latter.
+//
+// Usage:
+//
+//	mstserve -serve 127.0.0.1:7600 &
+//	mstload -addr 127.0.0.1:7600 -clients 8 -total 64 -out report.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"sleepmst/internal/conform"
+	"sleepmst/internal/problem"
+	"sleepmst/internal/service"
+	"sleepmst/internal/stats"
+	"sleepmst/internal/trace"
+)
+
+// reportSchema versions the mstload JSON report.
+const reportSchema = 1
+
+// loadConfig is the parameter set of one load run.
+type loadConfig struct {
+	addr     string
+	clients  int
+	total    int
+	seed     int64
+	problems []string
+	graphs   []string
+	nMin     int
+	nMax     int
+	deadline time.Duration
+	verify   bool
+}
+
+// report is the JSON output of one load run. VerdictDigest and
+// Statuses depend only on the seed and the service's behavior;
+// Latency is wall-clock and varies run to run.
+type report struct {
+	Schema  int    `json:"schema"`
+	Addr    string `json:"addr"`
+	Clients int    `json:"clients"`
+	Total   int    `json:"total"`
+	Seed    int64  `json:"seed"`
+
+	// Statuses tallies responses by documented status code.
+	Statuses map[string]int `json:"statuses"`
+	// Verified counts verdicts independently re-certified client-side.
+	Verified int `json:"verified"`
+	// VerdictDigest is the sha256 over (id, status, artifact, trace)
+	// of every response in request-id order — the deterministic
+	// fingerprint of the whole run.
+	VerdictDigest string `json:"verdict_digest"`
+	// Latency summarizes ok-response latency in milliseconds.
+	Latency latencySummary `json:"latency_ms"`
+}
+
+type latencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7600", "mstserve -serve address to load")
+		clients  = flag.Int("clients", 4, "concurrent closed-loop clients (one connection, one outstanding request each)")
+		total    = flag.Int("total", 32, "total requests across all clients; the mix depends only on -seed and -total")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		problems = flag.String("problems", "mst/randomized,mis", "comma-separated request problem mix")
+		graphs   = flag.String("graphs", "random,ring,grid", "comma-separated topology mix")
+		nMin     = flag.Int("n-min", 16, "minimum per-request node count")
+		nMax     = flag.Int("n-max", 48, "maximum per-request node count")
+		deadline = flag.Duration("deadline", 0, "per-request deadline (0 = service default)")
+		verify   = flag.Bool("verify", true, "ship traces back and re-certify every verdict with the conformance checker")
+		outPath  = flag.String("out", "", "write the JSON report here ('-' = stdout; default stdout)")
+	)
+	flag.Parse()
+	rep, err := run(loadConfig{
+		addr: *addr, clients: *clients, total: *total, seed: *seed,
+		problems: strings.Split(*problems, ","), graphs: strings.Split(*graphs, ","),
+		nMin: *nMin, nMax: *nMax, deadline: *deadline, verify: *verify,
+	})
+	if rep != nil {
+		if werr := writeReport(rep, *outPath); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstload:", err)
+		os.Exit(1)
+	}
+}
+
+// workload derives the deterministic request list from the seed: a
+// splitmix-style hash of (seed, index) picks each request's problem,
+// topology, size, and run seed, so the list never depends on client
+// count or delivery order.
+func workload(cfg loadConfig) []service.Request {
+	reqs := make([]service.Request, cfg.total)
+	for i := range reqs {
+		h := splitmix(uint64(cfg.seed) + uint64(i)*0x9e3779b97f4a7c15)
+		span := cfg.nMax - cfg.nMin + 1
+		reqs[i] = service.Request{
+			ID:        int64(i),
+			Problem:   cfg.problems[h%uint64(len(cfg.problems))],
+			Graph:     cfg.graphs[(h>>8)%uint64(len(cfg.graphs))],
+			N:         cfg.nMin + int((h>>16)%uint64(span)),
+			Seed:      int64(h >> 32),
+			Deadline:  cfg.deadline,
+			WantTrace: cfg.verify,
+		}
+	}
+	return reqs
+}
+
+// splitmix is the SplitMix64 finalizer — a cheap, well-mixed hash.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// run executes the closed loop: clients pull requests off a shared
+// list, each round-trips one request at a time, and every response is
+// verified before it counts.
+func run(cfg loadConfig) (*report, error) {
+	if cfg.clients < 1 || cfg.total < 1 {
+		return nil, fmt.Errorf("need at least one client and one request (clients=%d total=%d)", cfg.clients, cfg.total)
+	}
+	if cfg.nMin < 1 || cfg.nMax < cfg.nMin {
+		return nil, fmt.Errorf("bad node-count range [%d, %d]", cfg.nMin, cfg.nMax)
+	}
+	reqs := workload(cfg)
+
+	type outcome struct {
+		resp    service.Response
+		latency time.Duration
+	}
+	outcomes := make([]outcome, cfg.total)
+	next := make(chan int)
+	go func() {
+		for i := range reqs {
+			next <- i
+		}
+		close(next)
+	}()
+	errs := make(chan error, cfg.clients)
+	for c := 0; c < cfg.clients; c++ {
+		go func() {
+			errs <- func() error {
+				conn, err := net.Dial("tcp", cfg.addr)
+				if err != nil {
+					return err
+				}
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for i := range next {
+					start := time.Now()
+					if err := service.WriteRequest(conn, reqs[i]); err != nil {
+						return fmt.Errorf("request %d: %w", i, err)
+					}
+					resp, err := service.ReadResponse(br)
+					if err != nil {
+						return fmt.Errorf("request %d: %w", i, err)
+					}
+					if resp.ID != reqs[i].ID {
+						return fmt.Errorf("request %d: response for id %d (closed loop broken)", i, resp.ID)
+					}
+					outcomes[i] = outcome{resp: resp, latency: time.Since(start)}
+				}
+				return nil
+			}()
+		}()
+	}
+	var firstErr error
+	for c := 0; c < cfg.clients; c++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rep := &report{
+		Schema: reportSchema, Addr: cfg.addr, Clients: cfg.clients,
+		Total: cfg.total, Seed: cfg.seed, Statuses: map[string]int{},
+	}
+	digest := sha256.New()
+	var latencies []float64
+	var verifyErr error
+	for i, o := range outcomes {
+		rep.Statuses[o.resp.Status.String()]++
+		fmt.Fprintf(digest, "%d|%s|%d|", o.resp.ID, o.resp.Status, len(o.resp.Artifact))
+		digest.Write(o.resp.Artifact)
+		digest.Write(o.resp.Trace)
+		switch o.resp.Status {
+		case service.StatusOK:
+			latencies = append(latencies, float64(o.latency)/float64(time.Millisecond))
+			if err := verifyResponse(reqs[i], o.resp, cfg.verify); err != nil {
+				if verifyErr == nil {
+					verifyErr = fmt.Errorf("request %d: %w", i, err)
+				}
+				continue
+			}
+			rep.Verified++
+		case service.StatusViolation:
+			if verifyErr == nil {
+				verifyErr = fmt.Errorf("request %d: service reported a violation: %s", i, o.resp.Detail)
+			}
+		case service.StatusOverloaded, service.StatusDeadline, service.StatusShuttingDown:
+			// Documented load shedding — counted, not fatal.
+		default:
+			if verifyErr == nil {
+				verifyErr = fmt.Errorf("request %d: %s: %s", i, o.resp.Status, o.resp.Detail)
+			}
+		}
+	}
+	rep.VerdictDigest = hex.EncodeToString(digest.Sum(nil))
+	if len(latencies) > 0 {
+		s := stats.Summarize(latencies)
+		rep.Latency = latencySummary{
+			Mean: s.Mean,
+			P50:  stats.Percentile(latencies, 50),
+			P90:  stats.Percentile(latencies, 90),
+			P99:  stats.Percentile(latencies, 99),
+			Max:  s.Max,
+		}
+	}
+	return rep, verifyErr
+}
+
+// verifyResponse re-certifies one ok response client-side: the
+// artifact must parse and its verdict pass; with traces on, replaying
+// the trace through conform.CheckTrace must pass as well.
+func verifyResponse(req service.Request, resp service.Response, withTrace bool) error {
+	var a service.Artifact
+	if err := json.Unmarshal(resp.Artifact, &a); err != nil {
+		return fmt.Errorf("artifact does not parse: %w", err)
+	}
+	if a.ID != req.ID || a.Seed != req.Seed {
+		return fmt.Errorf("artifact for id=%d seed=%d, want id=%d seed=%d", a.ID, a.Seed, req.ID, req.Seed)
+	}
+	if a.Verdict == nil || !a.Verdict.Pass || !a.Run.VerifyPassed {
+		return fmt.Errorf("verdict did not pass: %+v", a.Verdict)
+	}
+	if !withTrace {
+		return nil
+	}
+	meta, events, err := trace.ReadJSONL(bytes.NewReader(resp.Trace))
+	if err != nil {
+		return fmt.Errorf("trace does not parse: %w", err)
+	}
+	p, err := problem.Lookup(a.Problem)
+	if err != nil {
+		return err
+	}
+	v := conform.CheckTrace(meta, events, conform.RunInfo{
+		Algorithm: a.Problem, N: a.N, Seed: a.Seed, Budget: p.Budget,
+	})
+	if !v.Pass {
+		var failing []string
+		for _, c := range v.Failures() {
+			failing = append(failing, c.Name)
+		}
+		return fmt.Errorf("client-side trace recheck failed: %v", failing)
+	}
+	return nil
+}
+
+// writeReport renders the report as indented JSON to path or stdout.
+func writeReport(rep *report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" || path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"net"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sleepmst/internal/service"
+)
+
+// startServer brings up an in-process service server on an ephemeral
+// port and returns its address plus a shutdown func that drains it
+// and renders the merged service metrics.
+func startServer(t *testing.T, workers, queue int) (string, func() string) {
+	t.Helper()
+	svc := service.New(service.Config{Workers: workers, QueueDepth: queue})
+	srv := service.NewServer(svc)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() string {
+		srv.Shutdown()
+		return svc.Metrics().String()
+	}
+}
+
+// loadCfg is the fixed workload both determinism runs replay.
+func loadCfg(addr string, clients int) loadConfig {
+	return loadConfig{
+		addr: addr, clients: clients, total: 24, seed: 42,
+		problems: []string{"mst/randomized", "mis"},
+		graphs:   []string{"random", "ring", "grid"},
+		nMin:     16, nMax: 40, verify: true,
+	}
+}
+
+// TestLoadDeterministicAcrossClientCounts is the wire-level
+// acceptance pin: the same seeded workload driven by 1 client and by
+// 8 clients against fresh identical servers yields the same verdict
+// digest, the same status tallies, and byte-identical merged service
+// metrics.
+func TestLoadDeterministicAcrossClientCounts(t *testing.T) {
+	addr1, stop1 := startServer(t, 4, 64)
+	rep1, err := run(loadCfg(addr1, 1))
+	if err != nil {
+		t.Fatalf("clients=1: %v", err)
+	}
+	metrics1 := stop1()
+
+	addr8, stop8 := startServer(t, 4, 64)
+	rep8, err := run(loadCfg(addr8, 8))
+	if err != nil {
+		t.Fatalf("clients=8: %v", err)
+	}
+	metrics8 := stop8()
+
+	if rep1.VerdictDigest != rep8.VerdictDigest {
+		t.Errorf("verdict digest differs across client counts:\n1: %s\n8: %s", rep1.VerdictDigest, rep8.VerdictDigest)
+	}
+	if !reflect.DeepEqual(rep1.Statuses, rep8.Statuses) {
+		t.Errorf("status tallies differ: %v vs %v", rep1.Statuses, rep8.Statuses)
+	}
+	if rep1.Statuses["ok"] != rep1.Total {
+		t.Errorf("workload was shed: %v", rep1.Statuses)
+	}
+	if rep1.Verified != rep1.Total || rep8.Verified != rep8.Total {
+		t.Errorf("not every verdict re-certified: %d and %d of %d", rep1.Verified, rep8.Verified, rep1.Total)
+	}
+	if metrics1 != metrics8 {
+		t.Errorf("merged service metrics differ across client counts:\n--- clients=1 ---\n%s--- clients=8 ---\n%s", metrics1, metrics8)
+	}
+	if rep1.Latency.P50 <= 0 || rep1.Latency.Max < rep1.Latency.P99 {
+		t.Errorf("latency summary inconsistent: %+v", rep1.Latency)
+	}
+}
+
+// TestLoadWorkloadIsClientCountFree pins the generator contract
+// directly: the request list is a function of seed and total only.
+func TestLoadWorkloadIsClientCountFree(t *testing.T) {
+	a := workload(loadCfg("x", 1))
+	b := workload(loadCfg("x", 8))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("workload depends on client count")
+	}
+	c := workload(loadConfig{total: 24, seed: 43,
+		problems: []string{"mst/randomized", "mis"}, graphs: []string{"random", "ring", "grid"},
+		nMin: 16, nMax: 40, verify: true})
+	if reflect.DeepEqual(a, c) {
+		t.Error("workload ignores the seed")
+	}
+	for i, req := range a {
+		if req.N < 16 || req.N > 40 {
+			t.Fatalf("request %d: n=%d outside [16, 40]", i, req.N)
+		}
+	}
+}
+
+// TestLoadReportWritten exercises the report writer and the
+// overload accounting path: a tiny server (one worker, queue of one)
+// under more clients than capacity must shed load with documented
+// statuses only, and still write a parseable report.
+func TestLoadReportWritten(t *testing.T) {
+	addr, stop := startServer(t, 1, 1)
+	defer stop()
+	cfg := loadCfg(addr, 6)
+	cfg.total = 12
+	cfg.verify = false
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatalf("load run failed: %v", err)
+	}
+	for status := range rep.Statuses {
+		switch status {
+		case "ok", "overloaded":
+		default:
+			t.Errorf("undocumented status under overload: %s", status)
+		}
+	}
+	out := filepath.Join(t.TempDir(), "report.json")
+	if err := writeReport(rep, out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,24 +21,47 @@
 // with -retries 0 drops become permanent and the run fails loudly at
 // the round barrier rather than silently miscomputing.
 //
+// With -serve the command becomes a persistent daemon instead of a
+// one-shot cell: it listens on the given address and serves concurrent
+// certified-computation requests over the internal/service wire
+// protocol, with a bounded admission queue, per-request deadlines, and
+// a graceful SIGTERM drain that finishes every admitted request before
+// exiting. cmd/mstload is the matching load generator.
+//
+// Exit codes are split so scripts can tell "the math failed" from "the
+// infrastructure failed": 0 = success, 1 = a conformance or
+// correctness violation, 2 = an internal error (bad arguments,
+// transport bring-up, I/O).
+//
 // Usage:
 //
 //	mstserve -n 64 -m 128 -problem mst/randomized -transport tcp -out verdict.json
 //	mstserve -n 32 -drop 0.05 -delay 0.05 -retries 8   # faulty wire, clean tree
+//	mstserve -serve 127.0.0.1:7600 -workers 8 -queue 64        # daemon
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sleepmst"
 	"sleepmst/internal/conform"
 	"sleepmst/internal/problem"
+	"sleepmst/internal/service"
 	"sleepmst/internal/transport"
 )
+
+// errViolation marks a completed run whose conformance verdict or
+// correctness oracle failed — exit code 1, distinct from
+// infrastructure failures (exit code 2).
+var errViolation = errors.New("conformance violation")
 
 // artifactSchema versions the mstserve JSON artifact.
 const artifactSchema = 1
@@ -93,7 +116,7 @@ type wireSummary struct {
 
 func main() {
 	var (
-		graphKind = flag.String("graph", "random", "topology: random|ring|path|grid|complete|sensor")
+		graphKind = flag.String("graph", "random", "topology: "+service.GraphKindList)
 		n         = flag.Int("n", 64, "number of nodes")
 		m         = flag.Int("m", 0, "edges for -graph random (default 2n: sparse, socket-friendly)")
 		rows      = flag.Int("rows", 0, "rows for -graph grid (default sqrt(n))")
@@ -111,14 +134,90 @@ func main() {
 		outPath   = flag.String("out", "", "write the JSON artifact to this file ('-' = stdout; default stdout)")
 		traceOut  = flag.String("trace-out", "", "also write the structured JSONL event trace to this file")
 		traceCap  = flag.Int("trace-cap", 1<<21, "trace-recorder event capacity")
+
+		serveAddr  = flag.String("serve", "", "persistent daemon mode: listen address for the service wire protocol (e.g. 127.0.0.1:7600)")
+		workers    = flag.Int("workers", 0, "daemon worker-pool size (0 = GOMAXPROCS; 1 serializes requests)")
+		queue      = flag.Int("queue", service.DefaultQueueDepth, "daemon admission-queue depth; a full queue rejects with the overloaded status")
+		deadline   = flag.Duration("deadline", service.DefaultDeadline, "daemon default per-request deadline")
+		maxN       = flag.Int("max-n", service.DefaultMaxN, "daemon per-request node-count cap")
+		metricsOut = flag.String("metrics-out", "", "daemon: write the merged service metrics registry here after the drain")
 	)
 	flag.Parse()
-	if err := serve(*graphKind, *n, *m, *rows, *radius, *seed, *probName, *engName, *txName,
-		*retries, *timeout, *dropProb, *delayProb, *maxDelay, *faultSeed,
-		*outPath, *traceOut, *traceCap); err != nil {
-		fmt.Fprintln(os.Stderr, "mstserve:", err)
-		os.Exit(1)
+	var err error
+	if *serveAddr != "" {
+		err = daemon(*serveAddr, *workers, *queue, *deadline, *maxN, *metricsOut)
+	} else {
+		err = serve(*graphKind, *n, *m, *rows, *radius, *seed, *probName, *engName, *txName,
+			*retries, *timeout, *dropProb, *delayProb, *maxDelay, *faultSeed,
+			*outPath, *traceOut, *traceCap)
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstserve:", err)
+	}
+	os.Exit(exitCode(err))
+}
+
+// exitCode maps a run outcome onto the documented exit-code split:
+// 0 = success, 1 = conformance/correctness violation, 2 = internal
+// error.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errViolation):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// daemon binds addr and runs the persistent service until SIGTERM.
+func daemon(addr string, workers, queue int, deadline time.Duration, maxN int, metricsOut string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mstserve: serving on %s (workers=%d queue=%d)\n", ln.Addr(), workers, queue)
+	return daemonOn(ln, workers, queue, deadline, maxN, metricsOut)
+}
+
+// daemonOn serves the wire protocol on ln until SIGTERM or interrupt,
+// then drains gracefully: admitted requests finish, their responses
+// flush, and the merged service metrics land in metricsOut. Split
+// from daemon so tests can drive it on an ephemeral listener.
+func daemonOn(ln net.Listener, workers, queue int, deadline time.Duration, maxN int, metricsOut string) error {
+	svc := service.New(service.Config{
+		Workers:         workers,
+		QueueDepth:      queue,
+		DefaultDeadline: deadline,
+		MaxN:            maxN,
+	})
+	srv := service.NewServer(svc)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigs)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(os.Stderr, "mstserve: %v, draining\n", sig)
+			srv.Shutdown()
+		case <-done:
+		}
+	}()
+
+	if err := srv.Serve(ln); !errors.Is(err, service.ErrServerClosed) {
+		return err
+	}
+	if metricsOut != "" {
+		if err := os.WriteFile(metricsOut, []byte(svc.Metrics().String()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, "mstserve: drained cleanly")
+	return nil
 }
 
 // serve runs one certified cell end to end and writes the artifact.
@@ -134,7 +233,7 @@ func serve(graphKind string, n, m, rows int, radius float64, seed int64,
 	if err != nil {
 		return err
 	}
-	g, err := buildGraph(graphKind, n, m, rows, radius, seed)
+	g, err := service.BuildGraph(graphKind, n, m, rows, radius, seed)
 	if err != nil {
 		return err
 	}
@@ -236,7 +335,7 @@ func serve(graphKind string, n, m, rows int, radius float64, seed int64,
 		return err
 	}
 	if !verdict.Pass || !a.Run.VerifyPassed {
-		return fmt.Errorf("conformance verdict failed for %s on %s n=%d", p.Name(), graphKind, g.N())
+		return fmt.Errorf("%w: %s on %s n=%d", errViolation, p.Name(), graphKind, g.N())
 	}
 	return nil
 }
@@ -259,40 +358,4 @@ func buildTransport(name string, retries int, timeout time.Duration) (sleepmst.T
 	default:
 		return nil, fmt.Errorf("unknown transport %q (want tcp or inproc)", name)
 	}
-}
-
-// buildGraph mirrors the sleepsim topology flags, with a sparser
-// random default (m = 2n) because every undirected edge costs two TCP
-// connections.
-func buildGraph(kind string, n, m, rows int, radius float64, seed int64) (*sleepmst.Graph, error) {
-	switch kind {
-	case "random":
-		if m <= 0 {
-			m = 2 * n
-		}
-		return sleepmst.RandomConnected(n, m, seed), nil
-	case "ring":
-		return sleepmst.Ring(n, seed), nil
-	case "path":
-		return sleepmst.Path(n, seed), nil
-	case "grid":
-		if rows <= 0 {
-			rows = intSqrt(n)
-		}
-		return sleepmst.Grid(rows, (n+rows-1)/rows, seed), nil
-	case "complete":
-		return sleepmst.Complete(n, seed), nil
-	case "sensor":
-		return sleepmst.SensorNetwork(n, radius, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown graph kind %q", kind)
-	}
-}
-
-func intSqrt(n int) int {
-	r := 1
-	for r*r < n {
-		r++
-	}
-	return r
 }

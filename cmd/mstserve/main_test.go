@@ -1,12 +1,19 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
 	"os"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
 	"time"
 
+	"sleepmst/internal/service"
 	"sleepmst/internal/transport"
 )
 
@@ -92,5 +99,82 @@ func TestServeRejectsUnknownInputs(t *testing.T) {
 	}
 	if err := base("mis", "tcp", "torus"); err == nil {
 		t.Error("unknown graph kind accepted")
+	}
+}
+
+// TestExitCodes pins the documented exit-code split: 0 = success,
+// 1 = conformance/correctness violation, 2 = internal error — however
+// deeply the violation sentinel is wrapped.
+func TestExitCodes(t *testing.T) {
+	if got := exitCode(nil); got != 0 {
+		t.Errorf("exitCode(nil) = %d, want 0", got)
+	}
+	wrapped := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", errViolation))
+	if got := exitCode(wrapped); got != 1 {
+		t.Errorf("exitCode(wrapped violation) = %d, want 1", got)
+	}
+	if got := exitCode(errors.New("dial tcp: connection refused")); got != 2 {
+		t.Errorf("exitCode(internal error) = %d, want 2", got)
+	}
+	// The one-shot violation path must produce the sentinel: a passing
+	// run must not.
+	if err := serve("random", 16, 32, 0, 0.2, 1, "mis", "event", "inproc",
+		0, time.Second, 0, 0, time.Millisecond, 1, filepath.Join(t.TempDir(), "v.json"), "", 1<<16); err != nil {
+		t.Errorf("passing cell returned %v", err)
+	}
+	if err := serve("random", 16, 32, 0, 0.2, 1, "nope", "event", "inproc",
+		0, time.Second, 0, 0, time.Millisecond, 1, filepath.Join(t.TempDir(), "v.json"), "", 1<<16); exitCode(err) != 2 {
+		t.Errorf("unknown problem classified as %d, want 2", exitCode(err))
+	}
+}
+
+// TestDaemonSIGTERMDrain drives the daemon end to end in-process: a
+// request over the wire, then SIGTERM mid-service; the daemon must
+// answer the request, drain cleanly (exit path 0), and write the
+// merged metrics registry.
+func TestDaemonSIGTERMDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsOut := filepath.Join(t.TempDir(), "metrics.txt")
+	daemonErr := make(chan error, 1)
+	go func() { daemonErr <- daemonOn(ln, 2, 8, time.Minute, 1024, metricsOut) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := service.WriteRequest(conn, service.Request{
+		ID: 1, Problem: "mst/randomized", Graph: "random", N: 24, Seed: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := service.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != service.StatusOK {
+		t.Fatalf("daemon answered %v (%s), want ok", resp.Status, resp.Detail)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-daemonErr:
+		if err != nil {
+			t.Fatalf("daemon drain returned %v, want nil (exit code 0)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	data, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatalf("drained daemon wrote no metrics: %v", err)
+	}
+	if !strings.Contains(string(data), "service/requests/total") {
+		t.Errorf("metrics registry missing request accounting:\n%s", data)
 	}
 }

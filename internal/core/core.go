@@ -78,6 +78,12 @@ type Options struct {
 	// per phase and per step, MOE probes and candidates, merge waves
 	// and depth, and per-kind message tallies (see internal/metrics).
 	Metrics *metrics.Registry
+	// Cancel, if non-nil, aborts the run at the next busy-round
+	// barrier once the channel is closed; the run returns
+	// sim.ErrCanceled (wrapped). This is how internal/service enforces
+	// per-request deadlines without leaking node goroutines. Nil keeps
+	// runs uncancellable.
+	Cancel <-chan struct{}
 }
 
 // simConfig translates the option fields shared with the simulator
@@ -95,6 +101,7 @@ func (o Options) simConfig(g *graph.Graph) sim.Config {
 		Trace:             o.Trace,
 		Metrics:           o.Metrics,
 		Transport:         o.Transport,
+		Cancel:            o.Cancel,
 	}
 }
 

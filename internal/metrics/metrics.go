@@ -204,6 +204,28 @@ func MsgName(kind string) string {
 	return "msgs/type/" + kind
 }
 
+// Service-level request accounting, recorded by internal/service for
+// every request the persistent MST service admits or rejects. All of
+// these are plain counters, so a service registry — per-request run
+// registries folded together plus these — is byte-identical for any
+// worker count and any completion order.
+const (
+	// ServiceRequests counts every request that reached admission,
+	// accepted or not.
+	ServiceRequests = "service/requests/total"
+	// ServiceBadFrames counts undecodable request frames answered
+	// with the malformed-frame response and a hang-up.
+	ServiceBadFrames = "service/frames/bad"
+)
+
+// ServiceStatusName returns the canonical service/status/<status>
+// metric name tallying requests by response status.
+func ServiceStatusName(status string) string { return "service/status/" + status }
+
+// ServiceProblemName returns the canonical service/problem/<name>
+// metric name tallying completed runs per problem.
+func ServiceProblemName(problem string) string { return "service/problem/" + problem }
+
 // Node-averaged awake accounting, recorded by the simulator at the end
 // of every run that carries a registry.
 const (

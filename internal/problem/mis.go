@@ -174,6 +174,7 @@ func RunMIS(g *graph.Graph, opts core.Options) (*Result, error) {
 		Trace:             opts.Trace,
 		Metrics:           opts.Metrics,
 		Transport:         opts.Transport,
+		Cancel:            opts.Cancel,
 	}
 	res, err := sim.Run(cfg, func(nd *sim.Node) error {
 		deg := nd.Degree()

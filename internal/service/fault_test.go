@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The fault-path battery: every documented failure mode — deadline
+// exceeded, queue-full rejection, malformed request frame, and a
+// mid-request drain — returns its documented status code, and none of
+// them leaks a goroutine: after Drain/Shutdown the process is back to
+// its pre-test goroutine count.
+
+// assertNoLeaks polls until the goroutine count settles back to the
+// before snapshot (scheduler teardown is asynchronous), failing with
+// a full stack dump if it never does.
+func assertNoLeaks(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFaultDeadline: an expired per-request deadline cancels the
+// running cell at a round barrier on both engines — StatusDeadline,
+// no partial artifact, no leaked node programs.
+func TestFaultDeadline(t *testing.T) {
+	for _, engine := range []string{"event", "goroutine"} {
+		t.Run(engine, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			svc := New(Config{Workers: 1})
+			resp := svc.Submit(Request{
+				ID: 1, Problem: "mst/randomized", Graph: "random", N: 512,
+				Seed: 1, Engine: engine, Deadline: time.Nanosecond,
+			})
+			svc.Drain()
+			if resp.Status != StatusDeadline {
+				t.Fatalf("status %v (%s), want deadline", resp.Status, resp.Detail)
+			}
+			if !strings.Contains(resp.Detail, "deadline") {
+				t.Errorf("detail %q does not mention the deadline", resp.Detail)
+			}
+			if len(resp.Artifact) != 0 {
+				t.Error("deadline response carries a partial artifact")
+			}
+			if got := svc.Metrics().Get("service/status/deadline"); got != 1 {
+				t.Errorf("service/status/deadline = %d, want 1", got)
+			}
+			assertNoLeaks(t, before)
+		})
+	}
+}
+
+// TestFaultOverload: with one worker and a queue of one, a burst of
+// concurrent requests splits into the two documented outcomes — ok
+// for the admitted, overloaded for the rejected — and every response
+// is one of them.
+func TestFaultOverload(t *testing.T) {
+	before := runtime.NumGoroutine()
+	svc := New(Config{Workers: 1, QueueDepth: 1})
+	const burst = 12
+	responses := make([]Response, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			responses[i] = svc.Submit(Request{
+				ID: int64(i), Problem: "mst/randomized", Graph: "random", N: 400, Seed: int64(i),
+			})
+		}(i)
+	}
+	wg.Wait()
+	svc.Drain()
+
+	var ok, overloaded int
+	for _, resp := range responses {
+		switch resp.Status {
+		case StatusOK:
+			ok++
+		case StatusOverloaded:
+			overloaded++
+			if !strings.Contains(resp.Detail, "queue full") {
+				t.Errorf("overload detail %q does not mention the queue", resp.Detail)
+			}
+		default:
+			t.Errorf("request %d: undocumented burst outcome %v (%s)", resp.ID, resp.Status, resp.Detail)
+		}
+	}
+	if ok == 0 || overloaded == 0 {
+		t.Errorf("burst did not exercise both outcomes: %d ok, %d overloaded", ok, overloaded)
+	}
+	if got := svc.Metrics().Get("service/status/overloaded"); got != int64(overloaded) {
+		t.Errorf("service/status/overloaded = %d, want %d", got, overloaded)
+	}
+	assertNoLeaks(t, before)
+}
+
+// TestFaultMalformedFrame: an undecodable frame is answered with the
+// documented bad-frame response (ID -1, StatusInvalid), counted in
+// service/frames/bad, and the connection is hung up.
+func TestFaultMalformedFrame(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		// A uvarint length prefix far over MaxFrameBytes.
+		{"oversized length", []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}},
+		// A well-formed length prefix over a garbage body.
+		{"garbage body", append([]byte{4}, 0xde, 0xad, 0xbe, 0xef)},
+		// A response frame where a request belongs.
+		{"wrong kind", mustFrame(Response{ID: 9, Status: StatusOK})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			svc := New(Config{Workers: 1})
+			srv := NewServer(svc)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			serveErr := make(chan error, 1)
+			go func() { serveErr <- srv.Serve(ln) }()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(tc.frame); err != nil {
+				t.Fatal(err)
+			}
+			br := bufio.NewReader(conn)
+			resp, err := ReadResponse(br)
+			if err != nil {
+				t.Fatalf("no bad-frame response: %v", err)
+			}
+			if resp.ID != BadFrameID || resp.Status != StatusInvalid {
+				t.Fatalf("bad frame answered with id=%d status=%v, want id=%d status=invalid",
+					resp.ID, resp.Status, BadFrameID)
+			}
+			if !strings.Contains(resp.Detail, "malformed request frame") {
+				t.Errorf("detail %q does not carry the documented code", resp.Detail)
+			}
+			// Past the bad-frame response the server hangs up.
+			if _, err := br.ReadByte(); !errors.Is(err, io.EOF) {
+				t.Errorf("connection still open after bad frame: %v", err)
+			}
+			if got := svc.Metrics().Get("service/frames/bad"); got != 1 {
+				t.Errorf("service/frames/bad = %d, want 1", got)
+			}
+			srv.Shutdown()
+			if err := <-serveErr; !errors.Is(err, ErrServerClosed) {
+				t.Errorf("Serve returned %v", err)
+			}
+			assertNoLeaks(t, before)
+		})
+	}
+}
+
+// mustFrame encodes a protocol message frame for test input.
+func mustFrame(msg interface{}) []byte {
+	buf, err := appendFrame(nil, msg)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+// TestFaultShutdownDrain: a drain beginning while a request is
+// running lets it finish and delivers its response, rejects new
+// requests with StatusShuttingDown, and leaves no goroutines behind —
+// the mechanism behind the daemon's SIGTERM handling.
+func TestFaultShutdownDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+	svc := New(Config{Workers: 1, QueueDepth: 1})
+	srv := NewServer(svc)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// A request slow enough to still be running when the drain starts.
+	if err := WriteRequest(conn, Request{ID: 50, Problem: "mst/randomized", Graph: "random", N: 512, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let it be admitted
+	done := make(chan struct{})
+	go func() { srv.Shutdown(); close(done) }()
+
+	br := bufio.NewReader(conn)
+	resp, err := ReadResponse(br)
+	if err != nil {
+		t.Fatalf("in-flight response lost in drain: %v", err)
+	}
+	if resp.ID != 50 || resp.Status != StatusOK {
+		t.Fatalf("in-flight request answered id=%d status=%v (%s), want 50/ok", resp.ID, resp.Status, resp.Detail)
+	}
+	<-done
+	if err := <-serveErr; !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	// Post-drain submissions get the documented rejection.
+	late := svc.Submit(Request{ID: 51, Problem: "mis", Graph: "ring", N: 8})
+	if late.Status != StatusShuttingDown {
+		t.Errorf("post-drain submit: status %v, want shutting-down", late.Status)
+	}
+	if got := svc.Metrics().Get("service/status/shutting-down"); got != 1 {
+		t.Errorf("service/status/shutting-down = %d, want 1", got)
+	}
+	assertNoLeaks(t, before)
+}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"fmt"
+
+	"sleepmst/internal/graph"
+)
+
+// BuildGraph constructs the named topology, mirroring cmd/sleepsim's
+// flags with a sparser random default (m = 2n): every undirected edge
+// of a request run over a tcp backend costs two socket connections.
+// Shared by the service's per-request execution and cmd/mstserve's
+// one-shot mode.
+func BuildGraph(kind string, n, m, rows int, radius float64, seed int64) (*graph.Graph, error) {
+	cfg := graph.GenConfig{Seed: seed}
+	switch kind {
+	case "random":
+		if m <= 0 {
+			m = 2 * n
+		}
+		return graph.RandomConnected(n, m, cfg), nil
+	case "ring":
+		return graph.Cycle(n, cfg), nil
+	case "path":
+		return graph.Path(n, cfg), nil
+	case "grid":
+		if rows <= 0 {
+			rows = intSqrt(n)
+		}
+		return graph.Grid(rows, (n+rows-1)/rows, cfg), nil
+	case "complete":
+		return graph.Complete(n, cfg), nil
+	case "sensor":
+		if radius <= 0 {
+			radius = 0.2
+		}
+		return graph.RandomGeometric(n, radius, cfg), nil
+	default:
+		return nil, fmt.Errorf("service: unknown graph kind %q (want %s)", kind, GraphKindList)
+	}
+}
+
+// GraphKindList is the documented topology vocabulary, for flag help
+// strings and validation errors.
+const GraphKindList = "random|ring|path|grid|complete|sensor"
+
+// validGraphKind reports whether kind names a buildable topology.
+func validGraphKind(kind string) bool {
+	switch kind {
+	case "random", "ring", "path", "grid", "complete", "sensor":
+		return true
+	}
+	return false
+}
+
+// intSqrt returns the smallest r with r*r >= n.
+func intSqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"sleepmst/internal/metrics"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown, mirroring
+// net/http's convention: it means the server stopped on purpose, not
+// that accepting failed.
+var ErrServerClosed = errors.New("service: server closed")
+
+// Server exposes a Service over the length-prefixed wire protocol: it
+// accepts connections, decodes Request frames, and answers each with
+// a Response frame. Requests on one connection are pipelined — each
+// runs on its own goroutine and responses are written in completion
+// order, correlated by ID.
+//
+// An undecodable frame gets a Response with ID = BadFrameID and
+// StatusInvalid, then the connection is closed: past one corrupt
+// frame the stream offsets cannot be trusted.
+type Server struct {
+	svc *Service
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps svc. The caller keeps ownership of svc's lifecycle
+// insofar as Metrics() access goes, but Shutdown drains it.
+func NewServer(svc *Service) *Server {
+	return &Server{svc: svc, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts connections on ln until Shutdown. It returns
+// ErrServerClosed after a clean Shutdown, or the accept error
+// otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown is the graceful drain behind SIGTERM: stop accepting,
+// finish every admitted request, flush every pending response, close
+// every connection, and return once all handler goroutines are gone.
+// New requests arriving mid-drain are answered StatusShuttingDown.
+// Safe to call more than once; later calls wait for the same drain.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	ln := s.ln
+	s.closed = true
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// Drain the pool first: every in-flight Submit returns, so every
+	// pending response gets written before readers are unblocked.
+	s.svc.Drain()
+	s.mu.Lock()
+	for conn := range s.conns {
+		// Unblock handlers parked in ReadRequest; they exit silently
+		// on the deadline error after flushing in-flight responses.
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// handle serves one connection: a read loop that decodes request
+// frames and fans each out to its own goroutine, plus a write mutex
+// serializing response frames.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	var (
+		writeMu  sync.Mutex
+		inflight sync.WaitGroup
+	)
+	// Before the connection closes, wait for every dispatched request
+	// to finish writing its response (runs before the conn.Close
+	// defer above).
+	defer inflight.Wait()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	br := bufio.NewReader(conn)
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			if isHangup(err) {
+				return
+			}
+			// Malformed frame: answer with the documented bad-frame
+			// response, then hang up — offsets past a corrupt frame
+			// cannot be trusted.
+			s.svc.reg.Add(metrics.ServiceBadFrames, 1)
+			writeMu.Lock()
+			WriteResponse(conn, Response{
+				ID:     BadFrameID,
+				Status: StatusInvalid,
+				Detail: "malformed request frame: " + err.Error(),
+			})
+			writeMu.Unlock()
+			return
+		}
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			resp := s.svc.Submit(req)
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if err := WriteResponse(conn, resp); err != nil {
+				// The client went away; its response is undeliverable.
+				// The request itself completed and is accounted for.
+				return
+			}
+		}()
+	}
+}
+
+// isHangup reports whether a read error means "the connection is
+// done" (clean close, peer reset, or the Shutdown read deadline)
+// rather than a malformed frame worth answering.
+func isHangup(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, os.ErrDeadlineExceeded) ||
+		errors.Is(err, syscall.ECONNRESET)
+}

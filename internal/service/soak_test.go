@@ -1,0 +1,132 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+
+	"sleepmst/internal/conform"
+	"sleepmst/internal/problem"
+	"sleepmst/internal/trace"
+)
+
+// TestSoakConcurrentClients is the race-enabled soak: several
+// concurrent wire clients pound one in-process server with a mixed
+// MST+MIS workload, every request ships its trace back, and every
+// verdict is independently re-certified client-side by replaying the
+// trace through conform.CheckTrace — the client does not have to
+// trust the server's verdict. Run under -race (CI does) this is also
+// the data-race probe for the scheduler, the pool, and the per-conn
+// response writers.
+func TestSoakConcurrentClients(t *testing.T) {
+	const (
+		clients   = 6
+		perClient = 8
+	)
+	svc := New(Config{Workers: 4})
+	srv := NewServer(svc)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+
+	// soakRequest derives a deterministic mixed request from its
+	// global index: alternating problems and topologies, fixed seeds.
+	soakRequest := func(id int64) Request {
+		problems := []string{"mst/randomized", "mis", "mst/baseline"}
+		graphs := []string{"random", "ring", "grid"}
+		return Request{
+			ID:        id,
+			Problem:   problems[id%3],
+			Graph:     graphs[(id/3)%3],
+			N:         24 + int(id%4)*8,
+			Seed:      1000 + id,
+			WantTrace: true,
+		}
+	}
+
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			errs <- func() error {
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					return err
+				}
+				defer conn.Close()
+				want := map[int64]Request{}
+				for i := 0; i < perClient; i++ {
+					req := soakRequest(int64(c*perClient + i))
+					want[req.ID] = req
+					if err := WriteRequest(conn, req); err != nil {
+						return fmt.Errorf("client %d: %w", c, err)
+					}
+				}
+				br := bufio.NewReader(conn)
+				for i := 0; i < perClient; i++ {
+					resp, err := ReadResponse(br)
+					if err != nil {
+						return fmt.Errorf("client %d: %w", c, err)
+					}
+					req, ok := want[resp.ID]
+					if !ok {
+						return fmt.Errorf("client %d: response for unknown id %d", c, resp.ID)
+					}
+					delete(want, resp.ID)
+					if resp.Status != StatusOK {
+						return fmt.Errorf("request %d: status %v (%s)", resp.ID, resp.Status, resp.Detail)
+					}
+					if err := recheck(req, resp); err != nil {
+						return fmt.Errorf("request %d: %w", resp.ID, err)
+					}
+				}
+				return nil
+			}()
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// recheck independently re-certifies one response: the artifact's
+// verdict must pass, and replaying the shipped trace through
+// conform.CheckTrace must pass too.
+func recheck(req Request, resp Response) error {
+	var a Artifact
+	if err := json.Unmarshal(resp.Artifact, &a); err != nil {
+		return fmt.Errorf("artifact does not parse: %w", err)
+	}
+	if a.Verdict == nil || !a.Verdict.Pass || !a.Run.VerifyPassed {
+		return fmt.Errorf("server verdict did not pass: %+v", a.Verdict)
+	}
+	if len(resp.Trace) == 0 {
+		return fmt.Errorf("no trace shipped despite WantTrace")
+	}
+	meta, events, err := trace.ReadJSONL(bytes.NewReader(resp.Trace))
+	if err != nil {
+		return fmt.Errorf("trace does not parse: %w", err)
+	}
+	p, err := problem.Lookup(a.Problem)
+	if err != nil {
+		return err
+	}
+	v := conform.CheckTrace(meta, events, conform.RunInfo{
+		Algorithm: a.Problem, N: a.N, Seed: a.Seed, Budget: p.Budget,
+	})
+	if !v.Pass {
+		var failing []string
+		for _, c := range v.Failures() {
+			failing = append(failing, c.Name)
+		}
+		return fmt.Errorf("client-side CheckTrace failed: %v", failing)
+	}
+	return nil
+}

@@ -182,6 +182,11 @@ func (e *eventEngine) run() {
 			e.drain()
 			return
 		}
+		if rt.cfg.canceled() {
+			rt.failed = fmt.Errorf("sim: run canceled at round %d: %w (%w)", round, ErrCanceled, ErrAborted)
+			e.drain()
+			return
+		}
 		// Participants of this round: merge the bucket (ascending by
 		// construction) with the heap's equal-round prefix (heap pops
 		// with equal rounds come out in increasing index order), so p

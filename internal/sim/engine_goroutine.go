@@ -145,6 +145,11 @@ func (rt *runtime) loop() {
 			rt.drain(parked, nParked)
 			return
 		}
+		if rt.cfg.canceled() {
+			rt.failed = fmt.Errorf("sim: run canceled at round %d: %w (%w)", round, ErrCanceled, ErrAborted)
+			rt.drain(parked, nParked)
+			return
+		}
 		// Participants of this round; heap pops with equal rounds come
 		// out in increasing index order, so p is already sorted.
 		p = p[:0]

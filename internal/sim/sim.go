@@ -190,6 +190,14 @@ type Config struct {
 	// Chooser (model checking stays in-memory). Nil — the default —
 	// keeps delivery entirely in-process with no wire encoding.
 	Transport transport.Transport
+	// Cancel, if non-nil, aborts the run at the next busy-round
+	// barrier once the channel is closed: every node program unwinds,
+	// Run returns ErrCanceled (wrapped), and the partial Result stays
+	// valid — the mechanism behind per-request deadlines in
+	// internal/service. The check is a non-blocking poll once per busy
+	// round, so a nil or never-closed channel costs nothing
+	// observable. Nil — the default — keeps runs uncancellable.
+	Cancel <-chan struct{}
 }
 
 // DefaultMaxRounds caps runaway simulations.
@@ -313,7 +321,23 @@ var (
 	ErrAwakeBudget = errors.New("awake budget exceeded")
 	// ErrBitCap: a message exceeded Config.BitCap bits.
 	ErrBitCap = errors.New("bit cap exceeded")
+	// ErrCanceled: Config.Cancel was closed while the run was in
+	// flight; the run aborted at the next busy-round barrier.
+	ErrCanceled = errors.New("run canceled")
 )
+
+// canceled reports whether Config.Cancel is closed (non-blocking).
+func (c Config) canceled() bool {
+	if c.Cancel == nil {
+		return false
+	}
+	select {
+	case <-c.Cancel:
+		return true
+	default:
+		return false
+	}
+}
 
 // abortPanic is the sentinel used to unwind node programs on abort.
 type abortPanic struct{}

@@ -55,6 +55,30 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Percentile returns the p-th percentile of xs (0 ≤ p ≤ 100) by the
+// nearest-rank method: the smallest sample value with at least p% of
+// the sample at or below it. Nearest-rank always returns an observed
+// value — latency reports stay honest, with no interpolated points
+// that never happened. It panics on an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
 // FitProportional fits y ≈ c·x by least squares through the origin and
 // returns the constant c and the coefficient of determination R².
 // Used to check complexity shapes: x is the theoretical envelope

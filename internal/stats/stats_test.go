@@ -106,3 +106,28 @@ func TestLogStar(t *testing.T) {
 		}
 	}
 }
+
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {5, 15}, {30, 20}, {40, 20}, {50, 35}, {95, 50}, {100, 50},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("Percentile(xs, %v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Every returned value must be an observed sample point.
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("singleton percentile = %v, want 7", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty sample did not panic")
+		}
+	}()
+	Percentile(nil, 50)
+}

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolAdmissionControl pins the bounded-queue semantics
+// deterministically: with one worker (occupied via a gate) and queue
+// depth one, the first extra job queues, the second is rejected with
+// ErrPoolSaturated, and after Drain every admitted job has run while
+// submission returns ErrPoolDraining.
+func TestPoolAdmissionControl(t *testing.T) {
+	p := NewPool(Config{Workers: 1}, 1)
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var ran [3]atomic.Bool
+
+	if err := p.TrySubmit(func() { close(started); <-gate; ran[0].Store(true) }); err != nil {
+		t.Fatalf("first job rejected: %v", err)
+	}
+	<-started // the single worker now holds job 0; the queue is empty
+	if err := p.TrySubmit(func() { ran[1].Store(true) }); err != nil {
+		t.Fatalf("queueable job rejected: %v", err)
+	}
+	if err := p.TrySubmit(func() { ran[2].Store(true) }); !errors.Is(err, ErrPoolSaturated) {
+		t.Fatalf("over-capacity job: got %v, want ErrPoolSaturated", err)
+	}
+
+	close(gate)
+	p.Drain()
+	if !ran[0].Load() || !ran[1].Load() {
+		t.Errorf("admitted jobs did not all run: %v %v", ran[0].Load(), ran[1].Load())
+	}
+	if ran[2].Load() {
+		t.Error("rejected job ran anyway")
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolDraining) {
+		t.Errorf("post-drain submit: got %v, want ErrPoolDraining", err)
+	}
+	p.Drain() // idempotent
+}
+
+// TestPoolRunsEverythingAdmitted floods a small pool from many
+// goroutines and checks the invariant the service relies on: every
+// TrySubmit that returned nil runs exactly once before Drain returns,
+// and every error is one of the two documented rejections.
+func TestPoolRunsEverythingAdmitted(t *testing.T) {
+	p := NewPool(Config{Workers: 4}, 8)
+	var admitted, executed atomic.Int64
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				err := p.TrySubmit(func() { executed.Add(1) })
+				switch {
+				case err == nil:
+					admitted.Add(1)
+				case errors.Is(err, ErrPoolSaturated), errors.Is(err, ErrPoolDraining):
+				default:
+					t.Errorf("undocumented rejection: %v", err)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	p.Drain()
+	if admitted.Load() != executed.Load() {
+		t.Errorf("admitted %d jobs but executed %d", admitted.Load(), executed.Load())
+	}
+	if admitted.Load() == 0 {
+		t.Error("nothing was admitted at all")
+	}
+}

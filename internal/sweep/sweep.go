@@ -23,8 +23,10 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"sleepmst/internal/metrics"
 )
@@ -119,6 +121,83 @@ func RunWithMetrics[T any](cfg Config, n int, fn func(i int, reg *metrics.Regist
 		return fn(i, regs[i])
 	})
 	return results, metrics.MergeAll(regs), err
+}
+
+// Streaming-workload errors returned by Pool.TrySubmit.
+var (
+	// ErrPoolSaturated: the bounded job queue is full. The caller
+	// rejects the work (admission control) instead of blocking.
+	ErrPoolSaturated = errors.New("sweep: pool queue full")
+	// ErrPoolDraining: Drain has begun; the pool admits no new jobs.
+	ErrPoolDraining = errors.New("sweep: pool draining")
+)
+
+// Pool is the streaming sibling of Run: a persistent worker set
+// draining a bounded job queue, for workloads that arrive one request
+// at a time instead of as a fixed grid. The same isolation discipline
+// applies — every job must be self-contained (own seed, own recorder,
+// own registry) so results are independent of which worker runs them
+// and in what order. Admission is explicit: TrySubmit never blocks,
+// returning ErrPoolSaturated when the queue is full, which is what
+// lets internal/service turn overload into a typed rejection instead
+// of unbounded latency.
+type Pool struct {
+	jobs    chan func()
+	workers sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+}
+
+// NewPool starts cfg.workers() workers over a bounded queue holding up
+// to queue waiting jobs (minimum 1; jobs a worker has already picked
+// up do not count against the queue). Callers own the lifecycle: every
+// NewPool must be paired with a Drain.
+func NewPool(cfg Config, queue int) *Pool {
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{jobs: make(chan func(), queue)}
+	for g := 0; g < cfg.workers(); g++ {
+		p.workers.Add(1)
+		go func() {
+			defer p.workers.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues job without blocking. It returns ErrPoolSaturated
+// when the queue is full and ErrPoolDraining after Drain began; in
+// both cases the job will never run.
+func (p *Pool) TrySubmit(job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return ErrPoolDraining
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		return ErrPoolSaturated
+	}
+}
+
+// Drain stops admission, lets the workers finish every job already
+// admitted (running or queued), and returns once the pool is idle.
+// Safe to call more than once; later calls just wait.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.workers.Wait()
 }
 
 // Grid indexes the cartesian product of named dimensions, flattening a

@@ -21,7 +21,9 @@ import (
 //
 // Kind ranges, to keep registrations collision-free across packages:
 // 0 is reserved (nil), 1-15 transport-internal/test, 16-31
-// internal/ldt, 32-63 internal/core, 64-79 internal/problem.
+// internal/ldt, 32-63 internal/core, 64-79 internal/problem, 80-95
+// internal/service (the request/response protocol of the persistent
+// MST service).
 
 // KindNil is the reserved kind of a nil payload.
 const KindNil = 0
@@ -161,6 +163,14 @@ func (w *Writer) Bool(v bool) {
 	w.buf = append(w.buf, b)
 }
 
+// Bytes appends a uvarint length-prefixed byte string. Strings travel
+// the same way: the service protocol encodes them as Bytes of their
+// UTF-8 contents.
+func (w *Writer) Bytes(b []byte) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
 // Nested appends a nested self-describing message; an unregistered
 // payload type panics (codecs run inside EncodeMessage, which has no
 // error channel per field — the panic is converted to an error at the
@@ -245,6 +255,26 @@ func (r *Reader) Bool() bool {
 		return false
 	}
 	return b == 1
+}
+
+// Bytes reads a uvarint length-prefixed byte string. The returned
+// slice aliases the reader's buffer — copy it before retaining it
+// past the decode. A length prefix that exceeds the remaining buffer
+// poisons the reader instead of allocating: a truncated or hostile
+// frame can never request more memory than it shipped.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	rem := len(r.buf) - r.off
+	if n > uint64(rem) {
+		r.err = fmt.Errorf("byte string length %d exceeds %d remaining byte(s) at offset %d", n, rem, r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
 }
 
 // Nested reads a nested self-describing message.

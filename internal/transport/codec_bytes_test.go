@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestWriterReaderBytes pins the length-prefixed byte-string field
+// used by the service protocol: round-trips (including empty), exact
+// offsets, and the truncation hardening — a length prefix larger than
+// the remaining buffer must poison the reader without allocating.
+func TestWriterReaderBytes(t *testing.T) {
+	var w Writer
+	w.Bytes([]byte("hello"))
+	w.Bytes(nil)
+	w.Bytes([]byte{0, 1, 2})
+	w.Int(-7)
+
+	r := Reader{buf: w.buf}
+	if got := r.Bytes(); !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("first string: got %q", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Fatalf("empty string: got %q", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{0, 1, 2}) {
+		t.Fatalf("binary string: got %v", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Fatalf("trailing int: got %d", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("clean decode errored: %v", r.Err())
+	}
+	if r.off != len(r.buf) {
+		t.Fatalf("decode left %d byte(s) unconsumed", len(r.buf)-r.off)
+	}
+}
+
+// TestReaderBytesTruncated feeds hostile length prefixes: a length
+// beyond the remaining buffer (small and absurd) must error rather
+// than allocate or panic, and the poisoned reader must stay poisoned.
+func TestReaderBytesTruncated(t *testing.T) {
+	for _, n := range []uint64{6, 1 << 40, 1<<64 - 1} {
+		buf := binary.AppendUvarint(nil, n)
+		buf = append(buf, []byte("short")...)
+		r := Reader{buf: buf}
+		if got := r.Bytes(); got != nil {
+			t.Errorf("length %d: got %d byte(s), want nil", n, len(got))
+		}
+		if r.Err() == nil {
+			t.Errorf("length %d: truncated byte string accepted", n)
+		}
+		if got := r.Bytes(); got != nil || r.Err() == nil {
+			t.Errorf("length %d: poisoned reader produced data", n)
+		}
+	}
+}

@@ -25,6 +25,7 @@
 package sleepmst
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 
@@ -37,6 +38,7 @@ import (
 	"sleepmst/internal/metrics"
 	"sleepmst/internal/modelcheck"
 	"sleepmst/internal/problem"
+	"sleepmst/internal/service"
 	"sleepmst/internal/sim"
 	"sleepmst/internal/trace"
 	"sleepmst/internal/transport"
@@ -615,4 +617,59 @@ func ParseTransport(s string) (Transport, error) {
 	default:
 		return nil, fmt.Errorf("sleepmst: unknown transport %q (want none, inproc, or tcp)", s)
 	}
+}
+
+// Persistent service ------------------------------------------------------
+
+// Service is the persistent concurrent MST service: a request
+// scheduler over a bounded worker pool with explicit admission
+// control, per-request isolation (seed, engine, transport, trace,
+// deadline), and a deterministic merged metrics registry. See
+// internal/service and DESIGN.md §14.
+type Service = service.Service
+
+// ServiceConfig parameterizes NewService: worker count, admission
+// queue depth, default per-request deadline, and per-request caps.
+type ServiceConfig = service.Config
+
+// ServiceRequest is one certified-computation request submitted to a
+// Service, in process or over the wire protocol.
+type ServiceRequest = service.Request
+
+// ServiceResponse is the service's answer to one request: a status
+// code, the JSON artifact for completed runs, and optionally the full
+// JSONL trace for client-side re-certification.
+type ServiceResponse = service.Response
+
+// ServiceStatus classifies one request's outcome (ok, violation,
+// invalid, overloaded, deadline, shutting-down, internal).
+type ServiceStatus = service.Status
+
+// ServiceArtifact is the decoded per-request JSON artifact: verdict,
+// run summary, and wire accounting.
+type ServiceArtifact = service.Artifact
+
+// ServiceServer exposes a Service over length-prefixed request and
+// response frames on TCP connections, with pipelining and a graceful
+// drain; mstserve -serve is the daemon around it.
+type ServiceServer = service.Server
+
+// NewService starts a persistent service; pair it with
+// Service.Drain.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewServiceServer wraps a service for the wire protocol; run it with
+// ServiceServer.Serve and stop it with ServiceServer.Shutdown.
+func NewServiceServer(svc *Service) *ServiceServer { return service.NewServer(svc) }
+
+// WriteServiceRequest writes one request frame — the client side of
+// the service wire protocol.
+func WriteServiceRequest(w io.Writer, req ServiceRequest) error {
+	return service.WriteRequest(w, req)
+}
+
+// ReadServiceResponse reads one response frame off a buffered client
+// connection.
+func ReadServiceResponse(br *bufio.Reader) (ServiceResponse, error) {
+	return service.ReadResponse(br)
 }
