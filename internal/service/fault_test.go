@@ -68,6 +68,41 @@ func TestFaultDeadline(t *testing.T) {
 	}
 }
 
+// TestFaultDeadlineCountsQueueWait: the deadline clock starts at
+// Submit, so a request stuck in the admission queue past its deadline
+// is answered StatusDeadline without ever running — queue wait is not
+// free time on top of the documented end-to-end bound.
+func TestFaultDeadlineCountsQueueWait(t *testing.T) {
+	before := runtime.NumGoroutine()
+	svc := New(Config{Workers: 1})
+	// Wedge the only worker so the request can't leave the queue.
+	release := make(chan struct{})
+	if err := svc.pool.TrySubmit(func() { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Response, 1)
+	go func() {
+		done <- svc.Submit(Request{
+			ID: 9, Problem: "mis", Graph: "ring", N: 8,
+			Deadline: 20 * time.Millisecond,
+		})
+	}()
+	time.Sleep(100 * time.Millisecond) // let the deadline expire in the queue
+	close(release)
+	resp := <-done
+	svc.Drain()
+	if resp.Status != StatusDeadline {
+		t.Fatalf("status %v (%s), want deadline", resp.Status, resp.Detail)
+	}
+	if !strings.Contains(resp.Detail, "queued") {
+		t.Errorf("detail %q does not attribute the expiry to queue wait", resp.Detail)
+	}
+	if len(resp.Artifact) != 0 {
+		t.Error("queued-past-deadline response carries an artifact")
+	}
+	assertNoLeaks(t, before)
+}
+
 // TestFaultOverload: with one worker and a queue of one, a burst of
 // concurrent requests splits into the two documented outcomes — ok
 // for the admitted, overloaded for the rejected — and every response

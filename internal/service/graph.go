@@ -20,10 +20,16 @@ func BuildGraph(kind string, n, m, rows int, radius float64, seed int64) (*graph
 		}
 		return graph.RandomConnected(n, m, cfg), nil
 	case "ring":
+		if n < 3 {
+			return nil, fmt.Errorf("service: ring requires n >= 3, got %d", n)
+		}
 		return graph.Cycle(n, cfg), nil
 	case "path":
 		return graph.Path(n, cfg), nil
 	case "grid":
+		if rows > n {
+			return nil, fmt.Errorf("service: rows=%d exceeds n=%d", rows, n)
+		}
 		if rows <= 0 {
 			rows = intSqrt(n)
 		}

@@ -18,9 +18,10 @@
 // Admission is explicit, never implicit queueing delay: a full queue
 // rejects with StatusOverloaded, an invalid request with
 // StatusInvalid, a draining service with StatusShuttingDown. An
-// admitted request is bounded by a deadline that cancels the running
-// cell at a round barrier (sim.ErrCanceled), so a stuck or oversized
-// run can neither wedge a worker forever nor leak its node programs.
+// admitted request is bounded by a deadline whose clock starts at
+// admission (queue wait counts) and that cancels the running cell at
+// a round barrier (sim.ErrCanceled), so a stuck or oversized run can
+// neither wedge a worker forever nor leak its node programs.
 //
 // Server (server.go) exposes the same Submit surface over a
 // length-prefixed request/response wire protocol (wire.go);
@@ -53,7 +54,9 @@ const (
 	// DefaultQueueDepth bounds the admission queue (waiting requests;
 	// requests a worker already picked up do not count).
 	DefaultQueueDepth = 64
-	// DefaultDeadline bounds one request end to end.
+	// DefaultDeadline bounds one request end to end: the clock starts
+	// at admission, so time spent waiting in the queue counts against
+	// it.
 	DefaultDeadline = 2 * time.Minute
 	// DefaultMaxN caps the per-request node count at admission.
 	DefaultMaxN = 4096
@@ -139,8 +142,18 @@ func (s *Service) Submit(req Request) Response {
 	if detail != "" {
 		return s.finish(req, Response{ID: req.ID, Status: StatusInvalid, Detail: detail}, "")
 	}
+	// The deadline clock starts here, before admission, so queue wait
+	// counts against it: a request cannot spend QueueDepth x deadline
+	// waiting for a worker.
+	deadline := req.Deadline
+	if deadline == 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	cancel := make(chan struct{})
+	timer := time.AfterFunc(deadline, func() { close(cancel) })
+	defer timer.Stop()
 	done := make(chan Response, 1)
-	err := s.pool.TrySubmit(func() { done <- s.execute(req, p) })
+	err := s.pool.TrySubmit(func() { done <- s.execute(req, p, deadline, cancel) })
 	switch {
 	case errors.Is(err, sweep.ErrPoolSaturated):
 		return s.finish(req, Response{ID: req.ID, Status: StatusOverloaded,
@@ -169,6 +182,12 @@ func (s *Service) validate(req *Request) (problem.Problem, string) {
 	if req.M < 0 || req.Rows < 0 {
 		return nil, fmt.Sprintf("negative m=%d or rows=%d", req.M, req.Rows)
 	}
+	if req.Graph == "ring" && req.N < 3 {
+		return nil, fmt.Sprintf("ring requires n >= 3, got %d", req.N)
+	}
+	if req.Rows > req.N {
+		return nil, fmt.Sprintf("rows=%d exceeds n=%d", req.Rows, req.N)
+	}
 	if req.Graph == "sensor" && (math.IsNaN(req.Radius) || req.Radius < 0 || req.Radius > 2) {
 		return nil, fmt.Sprintf("sensor radius %v outside [0, 2]", req.Radius)
 	}
@@ -192,11 +211,35 @@ func (s *Service) validate(req *Request) (problem.Problem, string) {
 }
 
 // execute runs one admitted request as an isolated cell on a pool
-// worker and certifies the result.
-func (s *Service) execute(req Request, p problem.Problem) Response {
+// worker and certifies the result. The deadline clock started in
+// Submit; cancel closes when it expires. A panic anywhere in the cell
+// is recovered into StatusInternal so no request can kill the worker
+// pool (and with it the daemon).
+func (s *Service) execute(req Request, p problem.Problem, deadline time.Duration, cancel <-chan struct{}) (resp Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = s.finish(req, Response{ID: req.ID, Status: StatusInternal,
+				Detail: fmt.Sprintf("panic in request cell: %v", r)}, "")
+		}
+	}()
+	select {
+	case <-cancel:
+		// The deadline expired while the request sat in the admission
+		// queue; don't start work that is already overdue.
+		return s.finish(req, Response{ID: req.ID, Status: StatusDeadline,
+			Detail: fmt.Sprintf("deadline %v exceeded while queued", deadline)}, "")
+	default:
+	}
 	g, err := BuildGraph(req.Graph, req.N, req.M, req.Rows, req.Radius, req.Seed)
 	if err != nil {
 		return s.finish(req, Response{ID: req.ID, Status: StatusInternal, Detail: err.Error()}, "")
+	}
+	// Validation bounds the request's N, but derived topologies (grid
+	// rounds n up to rows*cols) can build more nodes than asked for;
+	// re-check the built size against the same admission cap.
+	if g.N() > s.cfg.MaxN {
+		return s.finish(req, Response{ID: req.ID, Status: StatusInvalid,
+			Detail: fmt.Sprintf("built %s graph has %d nodes, over the admitted cap %d", req.Graph, g.N(), s.cfg.MaxN)}, "")
 	}
 	var tx transport.Transport
 	switch req.Transport {
@@ -216,13 +259,6 @@ func (s *Service) execute(req Request, p problem.Problem) Response {
 	if traceCap == 0 {
 		traceCap = DefaultTraceCap
 	}
-	deadline := req.Deadline
-	if deadline == 0 {
-		deadline = s.cfg.DefaultDeadline
-	}
-	cancel := make(chan struct{})
-	timer := time.AfterFunc(deadline, func() { close(cancel) })
-	defer timer.Stop()
 
 	rec := trace.NewRecorder(traceCap)
 	reg := metrics.New()
@@ -290,7 +326,7 @@ func (s *Service) execute(req Request, p problem.Problem) Response {
 		}
 	}
 
-	resp := Response{ID: req.ID, Status: StatusOK}
+	resp = Response{ID: req.ID, Status: StatusOK}
 	if !verdict.Pass || verify != nil {
 		resp.Status = StatusViolation
 		resp.Detail = violationDetail(verdict, verify)

@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"math"
@@ -11,6 +12,11 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"sleepmst/internal/conform"
+	"sleepmst/internal/core"
+	"sleepmst/internal/graph"
+	"sleepmst/internal/problem"
 )
 
 // testMix is a fixed request mix spanning problems, topologies,
@@ -144,6 +150,9 @@ func TestServiceInvalidRequests(t *testing.T) {
 		{"n too small", Request{Problem: "mis", Graph: "ring", N: 0}, "outside the admitted range"},
 		{"n too large", Request{Problem: "mis", Graph: "ring", N: 101}, "outside the admitted range"},
 		{"negative m", Request{Problem: "mis", Graph: "random", N: 8, M: -1}, "negative m"},
+		{"ring n=1", Request{Problem: "mis", Graph: "ring", N: 1}, "ring requires n >= 3"},
+		{"ring n=2", Request{Problem: "mis", Graph: "ring", N: 2}, "ring requires n >= 3"},
+		{"rows over n", Request{Problem: "mis", Graph: "grid", N: 9, Rows: 1 << 40}, "exceeds n"},
 		{"bad engine", Request{Problem: "mis", Graph: "ring", N: 8, Engine: "warp"}, "unknown engine"},
 		{"bad transport", Request{Problem: "mis", Graph: "ring", N: 8, Transport: "udp"}, "unknown transport"},
 		{"nan radius", Request{Problem: "mis", Graph: "sensor", N: 8, Radius: math.NaN()}, "radius"},
@@ -163,6 +172,87 @@ func TestServiceInvalidRequests(t *testing.T) {
 				t.Error("invalid request carries an artifact")
 			}
 		})
+	}
+}
+
+// TestServiceBuiltGraphCap: a topology whose construction rounds the
+// node count up past the requested N (grid builds rows x cols >= n)
+// is re-checked against MaxN after the build, so the admission cap
+// cannot be bypassed through derived sizes.
+func TestServiceBuiltGraphCap(t *testing.T) {
+	svc := New(Config{Workers: 1, MaxN: 8})
+	defer svc.Drain()
+	// rows=7 passes validation (7 <= n=8) but grid builds 7x2 = 14.
+	resp := svc.Submit(Request{ID: 1, Problem: "mis", Graph: "grid", N: 8, Rows: 7})
+	if resp.Status != StatusInvalid {
+		t.Fatalf("status %v (%s), want invalid", resp.Status, resp.Detail)
+	}
+	if !bytes.Contains([]byte(resp.Detail), []byte("over the admitted cap")) {
+		t.Errorf("detail %q does not name the cap", resp.Detail)
+	}
+}
+
+// panicProblem stands in for any construction-or-run bug inside a
+// request cell: its Run panics unconditionally.
+type panicProblem struct{}
+
+func (panicProblem) Name() string { return "test/panic" }
+func (panicProblem) Run(*graph.Graph, core.Options) (*problem.Result, error) {
+	panic("cell bug")
+}
+func (panicProblem) Budget(int) (int64, bool)                   { return 0, false }
+func (panicProblem) Verify(*graph.Graph, *problem.Result) error { return nil }
+func (panicProblem) ConformCheck(*graph.Graph, *problem.Result) conform.Check {
+	return conform.Check{}
+}
+
+// TestExecutePanicIsInternal: a panic anywhere in a request cell is
+// recovered into StatusInternal instead of unwinding a pool worker
+// goroutine and killing the daemon.
+func TestExecutePanicIsInternal(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Drain()
+	resp := svc.execute(Request{ID: 77, Graph: "path", N: 4}, panicProblem{},
+		time.Minute, make(chan struct{}))
+	if resp.Status != StatusInternal {
+		t.Fatalf("status %v (%s), want internal", resp.Status, resp.Detail)
+	}
+	if !bytes.Contains([]byte(resp.Detail), []byte("panic in request cell")) {
+		t.Errorf("detail %q does not name the panic", resp.Detail)
+	}
+	if got := svc.Metrics().Get("service/status/internal"); got != 1 {
+		t.Errorf("service/status/internal = %d, want 1", got)
+	}
+}
+
+// TestDecodeResponseUnknownStatus: a wire status outside the
+// vocabulary is rejected even when its uint8 truncation would land on
+// a valid code (256 % 256 = 0 = StatusOK).
+func TestDecodeResponseUnknownStatus(t *testing.T) {
+	for _, raw := range []uint64{uint64(statusCount), 200, 256, 1 << 32} {
+		body := binary.AppendUvarint(nil, KindResponse)
+		body = binary.AppendVarint(body, 5)    // ID
+		body = binary.AppendUvarint(body, raw) // status
+		body = binary.AppendUvarint(body, 0)   // detail
+		body = binary.AppendUvarint(body, 0)   // artifact
+		body = binary.AppendUvarint(body, 0)   // trace
+		if _, err := DecodeResponse(body); err == nil {
+			t.Errorf("status %d on the wire decoded cleanly, want unknown-status rejection", raw)
+		}
+	}
+	// The boundary below statusCount still decodes.
+	body := binary.AppendUvarint(nil, KindResponse)
+	body = binary.AppendVarint(body, 5)
+	body = binary.AppendUvarint(body, uint64(statusCount-1))
+	body = binary.AppendUvarint(body, 0)
+	body = binary.AppendUvarint(body, 0)
+	body = binary.AppendUvarint(body, 0)
+	resp, err := DecodeResponse(body)
+	if err != nil {
+		t.Fatalf("status %d rejected: %v", statusCount-1, err)
+	}
+	if resp.Status != statusCount-1 {
+		t.Errorf("decoded status %v, want %v", resp.Status, statusCount-1)
 	}
 }
 

@@ -54,9 +54,10 @@ const (
 	// oracle failed; the artifact holds the failing checks.
 	StatusViolation
 	// StatusInvalid: the request failed validation (unknown problem,
-	// graph kind, engine or transport, out-of-range n, trace cap or
-	// deadline) — or, with BadFrameID, the frame itself was
-	// undecodable.
+	// graph kind, engine or transport; out-of-range n, rows, trace cap
+	// or deadline; a per-kind topology minimum like ring n >= 3; or a
+	// built graph over the node cap) — or, with BadFrameID, the frame
+	// itself was undecodable.
 	StatusInvalid
 	// StatusOverloaded: the admission queue was full; the request was
 	// rejected without running. Back off and retry.
@@ -200,13 +201,24 @@ func init() {
 		Decode: func(r *transport.Reader) interface{} {
 			return Response{
 				ID:       r.Int(),
-				Status:   Status(r.Uvarint()),
+				Status:   decodeStatus(r.Uvarint()),
 				Detail:   string(r.Bytes()),
 				Artifact: append([]byte(nil), r.Bytes()...),
 				Trace:    append([]byte(nil), r.Bytes()...),
 			}
 		},
 	})
+}
+
+// decodeStatus maps a raw wire status onto Status without letting the
+// uint8 conversion wrap an out-of-range value (e.g. 256) back into a
+// valid code: anything >= statusCount decodes to an invalid sentinel
+// that DecodeResponse's unknown-status check rejects.
+func decodeStatus(raw uint64) Status {
+	if raw >= uint64(statusCount) {
+		return Status(math.MaxUint8)
+	}
+	return Status(raw)
 }
 
 // appendFrame appends the length-prefixed encoding of a registered
@@ -297,7 +309,7 @@ func DecodeResponse(body []byte) (Response, error) {
 		return Response{}, fmt.Errorf("service: frame carries %T, want a response", msg)
 	}
 	if resp.Status >= statusCount {
-		return Response{}, fmt.Errorf("service: response carries unknown status code %d", uint8(resp.Status))
+		return Response{}, fmt.Errorf("service: response carries an unknown status code (>= %d)", uint8(statusCount))
 	}
 	return resp, nil
 }
